@@ -1,0 +1,68 @@
+// Command geminisim runs the reproduction experiments: every table and
+// figure of the paper's evaluation, plus the ablation studies.
+//
+// Usage:
+//
+//	geminisim -exp fig10            # one experiment
+//	geminisim -exp all              # everything
+//	geminisim -exp fig12 -small     # fast small-scale platform
+//	geminisim -list                 # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gemini/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		small    = flag.Bool("small", false, "use the fast small-scale platform")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		durScale = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
+	)
+	flag.Parse()
+
+	if *list {
+		set := harness.NewExperimentSet(nil, 1)
+		for _, n := range set.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building platform (small=%v)...\n", *small)
+	p := harness.Shared(*small)
+	mean, p95, min, max := p.PoolStats()
+	fmt.Fprintf(os.Stderr, "platform ready in %v: pool service times mean %.2f ms, p95 %.2f, range %.2f-%.2f\n",
+		time.Since(start).Round(time.Millisecond), mean, p95, min, max)
+
+	scale := *durScale
+	if scale == 0 {
+		scale = 1
+		if *small {
+			scale = 0.2
+		}
+	}
+	set := harness.NewExperimentSet(p, scale)
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = set.Names()
+	}
+	for _, name := range names {
+		t0 := time.Now()
+		rep, err := set.Run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(rep.String())
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}

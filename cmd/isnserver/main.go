@@ -1,0 +1,73 @@
+// Command isnserver runs the paper's partition-aggregate search architecture
+// (Fig. 1a) as real HTTP services on localhost: N Index Serving Nodes (each
+// the Fig. 9 single-working-thread structure) plus an aggregator endpoint
+// that broadcasts queries and merges the top-K.
+//
+// Usage:
+//
+//	isnserver -shards 4 -port 8080
+//	curl -s -X POST localhost:8080/search -d '{"query":"united kingdom"}'
+//
+// Each ISN also listens on port+1+shard for direct inspection:
+//
+//	curl -s -X POST localhost:8081/search -d '{"query":"canada"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"gemini/internal/corpus"
+	"gemini/internal/index"
+	"gemini/internal/search"
+	"gemini/internal/server"
+)
+
+func main() {
+	var (
+		shards  = flag.Int("shards", 4, "number of ISN shards")
+		port    = flag.Int("port", 8080, "aggregator port (ISNs use port+1..port+shards)")
+		k       = flag.Int("k", 10, "result-set size")
+		partial = flag.Bool("partial", true, "partial aggregation: ignore stragglers past -timeout")
+		timeout = flag.Duration("timeout", 100*time.Millisecond, "straggler cutoff for -partial")
+	)
+	flag.Parse()
+
+	var urls []string
+	for s := 0; s < *shards; s++ {
+		spec := corpus.SmallSpec()
+		spec.Seed = int64(s + 1)
+		spec.NumDocs = 800 + 400*s
+		c := corpus.Generate(spec)
+		eng := search.NewEngine(index.Build(c), *k)
+		isn := server.NewISN(s, c, eng, search.DefaultCostModel())
+		isn.Start()
+
+		mux := http.NewServeMux()
+		mux.Handle("/search", isn)
+		addr := fmt.Sprintf("127.0.0.1:%d", *port+1+s)
+		go func(a string, m *http.ServeMux) {
+			log.Fatal(http.ListenAndServe(a, m))
+		}(addr, mux)
+		urls = append(urls, "http://"+addr)
+		log.Printf("ISN-%d: %d docs on %s", s, spec.NumDocs, addr)
+	}
+
+	agg := server.NewAggregator(urls, *k)
+	if *partial {
+		agg.Policy = server.Partial
+		agg.Quorum = *shards
+		agg.Timeout = *timeout
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/search", agg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	addr := fmt.Sprintf("127.0.0.1:%d", *port)
+	log.Printf("aggregator on %s (POST /search)", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}

@@ -1,0 +1,71 @@
+// Command tracegen generates and inspects the synthetic query-arrival traces
+// (Wikipedia / Lucene-nightly / TREC models of Fig. 1b and Figs. 12–14),
+// writing arrivals as CSV and printing summary statistics.
+//
+// Usage:
+//
+//	tracegen -kind wiki -rps 60 -duration 1000 > wiki.csv
+//	tracegen -kind lucene -stats            # statistics only, no CSV
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"gemini/internal/stats"
+	"gemini/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "wiki", "trace model: wiki, lucene, trec, fixed, wiki-long")
+		rps      = flag.Float64("rps", 60, "average request rate")
+		duration = flag.Float64("duration", 1000, "duration in seconds (hours for wiki-long)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		statsFlg = flag.Bool("stats", false, "print statistics instead of CSV")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *kind {
+	case "fixed":
+		tr = trace.GenFixedRPS(*rps, *duration*1000, *seed)
+	case "wiki-long":
+		tr = trace.GenWikipediaLong(*rps, *duration, *seed)
+	default:
+		tr = trace.GenEvalTrace(*kind, *rps, *duration*1000, *seed)
+	}
+
+	if *statsFlg {
+		printStats(tr)
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "arrival_ms")
+	for _, a := range tr.Arrivals {
+		fmt.Fprintf(w, "%.3f\n", a)
+	}
+	fmt.Fprintf(os.Stderr, "%d arrivals, mean %.1f RPS\n", tr.Len(), tr.MeanRPS())
+}
+
+func printStats(tr *trace.Trace) {
+	fmt.Printf("trace: %s\n", tr.Name)
+	fmt.Printf("arrivals: %d over %.1f s (mean %.2f RPS)\n",
+		tr.Len(), tr.DurationMs()/1000, tr.MeanRPS())
+	sec := tr.RPSSeries(1000, tr.DurationMs())
+	if len(sec) > 0 {
+		mn, _ := stats.Min(sec)
+		mx, _ := stats.Max(sec)
+		mean, _ := stats.Mean(sec)
+		fmt.Printf("per-second RPS: min %.1f mean %.1f max %.1f\n", mn, mean, mx)
+	}
+	gaps := tr.InterArrivalsMs()
+	if len(gaps) > 0 {
+		mean, _ := stats.Mean(gaps)
+		p99, _ := stats.Percentile(gaps, 99)
+		fmt.Printf("inter-arrival: mean %.2f ms, p99 %.2f ms\n", mean, p99)
+	}
+}

@@ -1,0 +1,87 @@
+// Command trainpred trains the paper's predictors and reports the Fig. 6/7/8
+// quality numbers; it can also persist the trained latency classifier and
+// error predictor to disk for reuse.
+//
+// Usage:
+//
+//	trainpred                  # train, print Fig. 6, 7 and 8
+//	trainpred -exp fig7        # just the model comparison
+//	trainpred -save models/    # additionally write model files
+//	trainpred -paper           # use the paper's 5x128 architecture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gemini/internal/harness"
+	"gemini/internal/predictor"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "which report: fig6, fig7, fig8, all")
+		small = flag.Bool("small", false, "use the fast small-scale platform")
+		paper = flag.Bool("paper", false, "train the paper's 5x128 architecture (slow)")
+		save  = flag.String("save", "", "directory to write trained models to")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	if *small {
+		opts = harness.SmallOptions()
+	}
+	if *paper {
+		opts.NNConfig = predictor.PaperConfig()
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "training predictors (%v hidden, %d epochs)...\n",
+		opts.NNConfig.Hidden, opts.NNConfig.Epochs)
+	p := harness.NewPlatform(opts)
+	fmt.Fprintf(os.Stderr, "trained in %v on %d samples\n",
+		time.Since(start).Round(time.Millisecond), len(p.Dataset.Train))
+
+	set := harness.NewExperimentSet(p, 1)
+	names := []string{"fig6", "fig7", "fig8"}
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		rep, err := set.Run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(rep.String())
+	}
+
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		clfPath := filepath.Join(*save, "latency_classifier.gob")
+		if err := p.Classifier.SaveFile(clfPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d params)\n", clfPath, p.Classifier.Network().NumParams())
+		errPath := filepath.Join(*save, "error_predictor.gob")
+		f, err := os.Create(errPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := p.ErrPred.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", errPath)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build the reproduction system, run a search, inspect the
+// neural predictors' view of a query, and simulate one Gemini-managed ISN.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemini"
+)
+
+func main() {
+	// Small() builds in well under a second: a reduced corpus and compact
+	// predictor networks. Use gemini.Default() for the paper-scale setup.
+	sys, err := gemini.NewSystem(gemini.Small())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The search substrate: top-K retrieval with MaxScore pruning.
+	results, serviceMs, err := sys.Search("united kingdom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q: %d results, modeled service time %.2f ms at 2.7 GHz\n",
+		"united kingdom", len(results), serviceMs)
+	for i, r := range results[:3] {
+		fmt.Printf("  #%d doc %d score %.3f\n", i+1, r.Doc, r.Score)
+	}
+
+	// 2. The two NN predictors (paper §IV): service time S* and error E*.
+	pred, predErr, err := sys.Predict("united kingdom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted S* = %.1f ms, predicted error E* = %+.1f ms\n", pred, predErr)
+
+	// 3. The Table II feature vector feeding both predictors.
+	fv, _ := sys.Features("united kingdom")
+	names := gemini.FeatureNames()
+	fmt.Println("features:")
+	for i, v := range fv {
+		fmt.Printf("  %-26s %.2f\n", names[i], v)
+	}
+
+	// 4. A Gemini-managed ISN under a 60 RPS Wikipedia-model load,
+	// side by side with the unmanaged baseline.
+	spec := gemini.TraceSpec{Kind: "wiki", EngineRPS: 60, DurationMs: 30_000}
+	for _, policy := range []string{"Baseline", "Gemini"} {
+		m, err := sys.Simulate(policy, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s power %5.1f W   p95 %5.1f ms   violations %.1f%%   drops %.1f%%\n",
+			m.Policy, m.SocketPowerW, m.TailLatencyMs, m.ViolationRate*100, m.DropRate*100)
+	}
+}

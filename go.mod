@@ -1,0 +1,3 @@
+module gemini
+
+go 1.22

@@ -1,0 +1,305 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeWorkRoundTrip(t *testing.T) {
+	// 27 GHz·ms at 2.7 GHz takes 10 ms (the paper's average service time).
+	if got := TimeFor(27, 2.7); math.Abs(got-10) > 1e-12 {
+		t.Errorf("TimeFor(27, 2.7) = %v, want 10", got)
+	}
+	if got := WorkFor(10, 2.7); math.Abs(float64(got)-27) > 1e-12 {
+		t.Errorf("WorkFor(10, 2.7) = %v, want 27", got)
+	}
+	if !math.IsInf(TimeFor(1, 0), 1) {
+		t.Errorf("TimeFor at zero frequency should be +Inf")
+	}
+}
+
+// Property: S = C/f round trips through WorkFor/TimeFor.
+func TestTimeWorkProperty(t *testing.T) {
+	f := func(sRaw, fRaw uint16) bool {
+		s := float64(sRaw%10000)/100 + 0.01 // 0.01..100.01 ms
+		fq := Freq(float64(fRaw%15)/10 + 1.2)
+		w := WorkFor(s, fq)
+		back := TimeFor(w, fq)
+		return math.Abs(back-s) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLadderBasics(t *testing.T) {
+	l := DefaultLadder()
+	if l.Min() != 1.2 || l.Max() != 2.7 {
+		t.Fatalf("ladder bounds = %v..%v", l.Min(), l.Max())
+	}
+	if len(l.Levels()) != 8 {
+		t.Fatalf("levels = %v", l.Levels())
+	}
+	if !l.Contains(2.0) || l.Contains(2.1) {
+		t.Errorf("Contains misbehaves")
+	}
+}
+
+func TestLadderDedupAndSort(t *testing.T) {
+	l := NewLadder([]Freq{2.0, 1.2, 2.0, 1.6})
+	lv := l.Levels()
+	want := []Freq{1.2, 1.6, 2.0}
+	if len(lv) != len(want) {
+		t.Fatalf("levels = %v, want %v", lv, want)
+	}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", lv, want)
+		}
+	}
+}
+
+func TestClampUp(t *testing.T) {
+	l := DefaultLadder()
+	cases := []struct{ in, want Freq }{
+		{0.5, 1.2}, {1.2, 1.2}, {1.3, 1.4}, {2.41, 2.7}, {2.7, 2.7}, {9, 2.7},
+	}
+	for _, c := range cases {
+		if got := l.ClampUp(c.in); got != c.want {
+			t.Errorf("ClampUp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampDown(t *testing.T) {
+	l := DefaultLadder()
+	cases := []struct{ in, want Freq }{
+		{0.5, 1.2}, {1.2, 1.2}, {1.3, 1.2}, {2.69, 2.4}, {2.7, 2.7}, {9, 2.7},
+	}
+	for _, c := range cases {
+		if got := l.ClampDown(c.in); got != c.want {
+			t.Errorf("ClampDown(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepUpDown(t *testing.T) {
+	l := DefaultLadder()
+	if got := l.StepUp(1.2); got != 1.4 {
+		t.Errorf("StepUp(1.2) = %v", got)
+	}
+	if got := l.StepUp(2.7); got != 2.7 {
+		t.Errorf("StepUp(top) = %v", got)
+	}
+	if got := l.StepDown(2.7); got != 2.4 {
+		t.Errorf("StepDown(2.7) = %v", got)
+	}
+	if got := l.StepDown(1.2); got != 1.2 {
+		t.Errorf("StepDown(bottom) = %v", got)
+	}
+	// Between-level inputs step relative to neighbors.
+	if got := l.StepUp(1.5); got != 1.6 {
+		t.Errorf("StepUp(1.5) = %v", got)
+	}
+	if got := l.StepDown(1.5); got != 1.4 {
+		t.Errorf("StepDown(1.5) = %v", got)
+	}
+}
+
+// Property: ClampUp never returns below input unless input exceeds max, and
+// always returns a ladder level.
+func TestClampUpProperty(t *testing.T) {
+	l := DefaultLadder()
+	f := func(raw uint16) bool {
+		in := Freq(float64(raw) / 1000) // 0..65.5 GHz
+		out := l.ClampUp(in)
+		if !l.Contains(out) {
+			return false
+		}
+		if in <= l.Max() {
+			return out >= in
+		}
+		return out == l.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageEndpoints(t *testing.T) {
+	m := DefaultPowerModel()
+	if got := m.Voltage(FMin); math.Abs(got-m.VMin) > 1e-12 {
+		t.Errorf("Voltage(FMin) = %v", got)
+	}
+	if got := m.Voltage(FMax); math.Abs(got-m.VMax) > 1e-12 {
+		t.Errorf("Voltage(FMax) = %v", got)
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	m := DefaultPowerModel()
+	prev := 0.0
+	for _, f := range DefaultLevels {
+		p := m.CoreW(f, true)
+		if p <= prev {
+			t.Errorf("power not increasing at %v GHz: %v <= %v", f, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestActiveCostsMoreThanIdle(t *testing.T) {
+	m := DefaultPowerModel()
+	for _, f := range DefaultLevels {
+		if m.CoreW(f, true) <= m.CoreW(f, false) {
+			t.Errorf("active <= idle at %v GHz", f)
+		}
+	}
+}
+
+// Calibration: the 12-core socket at the default frequency must land inside
+// the paper's Fig. 10 baseline band (≈34 W at low load, ≈36.5 W at 100 RPS).
+func TestBaselineCalibration(t *testing.T) {
+	m := DefaultPowerModel()
+	lo := m.UniformSocketW(FDefault, 0.10)
+	hi := m.UniformSocketW(FDefault, 0.50)
+	if lo < 32 || lo > 36 {
+		t.Errorf("low-load socket power = %.2f W, want ≈34", lo)
+	}
+	if hi < 34.5 || hi > 38.5 {
+		t.Errorf("high-load socket power = %.2f W, want ≈36.5", hi)
+	}
+	if hi <= lo {
+		t.Errorf("power must grow with utilization: %v <= %v", hi, lo)
+	}
+}
+
+// DVFS must offer enough dynamic range for the paper's ≈41% savings: a
+// socket busy at 1.4 GHz must draw well under 65% of the busy 2.7 GHz power.
+func TestDVFSDynamicRange(t *testing.T) {
+	m := DefaultPowerModel()
+	slow := m.UniformSocketW(1.4, 0.9)
+	fast := m.UniformSocketW(FDefault, 0.5)
+	if ratio := slow / fast; ratio > 0.70 {
+		t.Errorf("slow/fast power ratio = %.2f, want < 0.70 (insufficient DVFS range)", ratio)
+	}
+}
+
+func TestSocketWMatchesUniform(t *testing.T) {
+	m := DefaultPowerModel()
+	freqs := make([]Freq, m.Cores)
+	active := make([]bool, m.Cores)
+	for i := range freqs {
+		freqs[i] = FDefault
+		active[i] = true
+	}
+	got := m.SocketW(freqs, active)
+	want := m.UniformSocketW(FDefault, 1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SocketW = %v, UniformSocketW = %v", got, want)
+	}
+}
+
+func TestUniformSocketWClampsUtilization(t *testing.T) {
+	m := DefaultPowerModel()
+	if m.UniformSocketW(FDefault, -1) != m.UniformSocketW(FDefault, 0) {
+		t.Errorf("negative utilization not clamped")
+	}
+	if m.UniformSocketW(FDefault, 2) != m.UniformSocketW(FDefault, 1) {
+		t.Errorf("excess utilization not clamped")
+	}
+}
+
+func TestEnergyAccumulator(t *testing.T) {
+	m := DefaultPowerModel()
+	acc := NewEnergyAccumulator(m)
+	acc.Accumulate(10, 2.7, true)
+	acc.Accumulate(10, 1.2, false)
+	acc.Accumulate(-5, 2.7, true) // ignored
+	wantMJ := m.CoreW(2.7, true)*10 + m.CoreW(1.2, false)*10
+	if math.Abs(acc.EnergyMJ()-wantMJ) > 1e-9 {
+		t.Errorf("EnergyMJ = %v, want %v", acc.EnergyMJ(), wantMJ)
+	}
+	if math.Abs(acc.AvgPowerW()-wantMJ/20) > 1e-9 {
+		t.Errorf("AvgPowerW = %v", acc.AvgPowerW())
+	}
+	if math.Abs(acc.Utilization()-0.5) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.5", acc.Utilization())
+	}
+	if acc.TotalMs() != 20 {
+		t.Errorf("TotalMs = %v", acc.TotalMs())
+	}
+}
+
+func TestEnergyAccumulatorEmpty(t *testing.T) {
+	acc := NewEnergyAccumulator(DefaultPowerModel())
+	if acc.AvgPowerW() != 0 || acc.Utilization() != 0 {
+		t.Errorf("empty accumulator should report zeros")
+	}
+}
+
+// Property: energy is additive — splitting an interval does not change it.
+func TestEnergyAdditivityProperty(t *testing.T) {
+	m := DefaultPowerModel()
+	f := func(dtRaw, splitRaw uint16, fRaw uint8, active bool) bool {
+		dt := float64(dtRaw)/100 + 0.01
+		split := float64(splitRaw) / 65535 * dt
+		fq := Freq(1.2 + float64(fRaw%16)*0.1)
+		whole := NewEnergyAccumulator(m)
+		whole.Accumulate(dt, fq, active)
+		parts := NewEnergyAccumulator(m)
+		parts.Accumulate(split, fq, active)
+		parts.Accumulate(dt-split, fq, active)
+		return math.Abs(whole.EnergyMJ()-parts.EnergyMJ()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepestAffordable(t *testing.T) {
+	got := DeepestAffordable(DefaultCStates, 0.1)
+	if got.Name != "C3" {
+		t.Errorf("slack 0.1ms -> %s, want C3", got.Name)
+	}
+	got = DeepestAffordable(DefaultCStates, 10)
+	if got.Name != "C6" {
+		t.Errorf("slack 10ms -> %s, want C6", got.Name)
+	}
+	got = DeepestAffordable(DefaultCStates, 0)
+	if got.Name != "C0-poll" {
+		t.Errorf("slack 0 -> %s, want C0-poll", got.Name)
+	}
+}
+
+func TestCStateLadderOrdering(t *testing.T) {
+	for i := 1; i < len(DefaultCStates); i++ {
+		if DefaultCStates[i].PowerW >= DefaultCStates[i-1].PowerW {
+			t.Errorf("deeper state %s not cheaper", DefaultCStates[i].Name)
+		}
+		if DefaultCStates[i].WakeMs < DefaultCStates[i-1].WakeMs {
+			t.Errorf("deeper state %s wakes faster", DefaultCStates[i].Name)
+		}
+	}
+}
+
+func TestVoltageExtrapolation(t *testing.T) {
+	m := DefaultPowerModel()
+	// Outside the ladder the linear voltage model extrapolates.
+	if v := m.Voltage(0.6); v >= m.VMin {
+		t.Errorf("Voltage(0.6) = %v, want < VMin", v)
+	}
+	if v := m.Voltage(3.0); v <= m.VMax {
+		t.Errorf("Voltage(3.0) = %v, want > VMax", v)
+	}
+}
+
+func TestDynPowerSuperlinear(t *testing.T) {
+	m := DefaultPowerModel()
+	// f·V(f)² grows faster than linearly: doubling frequency from 1.2 to
+	// 2.4 must more than double dynamic power.
+	if m.DynW(2.4) <= 2*m.DynW(1.2) {
+		t.Errorf("dynamic power not superlinear: %v vs 2x %v", m.DynW(2.4), m.DynW(1.2))
+	}
+}

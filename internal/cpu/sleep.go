@@ -1,0 +1,33 @@
+package cpu
+
+// CState models one processor sleep state for the sleep-state extension
+// (paper §I: the two-step technique "can also be extended to Sleep states").
+// PowerW is the core's residency power; WakeMs is the latency to resume
+// execution, charged before any request work can progress.
+type CState struct {
+	Name   string
+	PowerW float64
+	WakeMs float64
+}
+
+// DefaultCStates is a small ladder loosely following published Xeon numbers:
+// deeper states save more power but cost more wake latency.
+var DefaultCStates = []CState{
+	{Name: "C0-poll", PowerW: 2.2, WakeMs: 0},
+	{Name: "C1", PowerW: 1.2, WakeMs: 0.002},
+	{Name: "C3", PowerW: 0.6, WakeMs: 0.05},
+	{Name: "C6", PowerW: 0.3, WakeMs: 0.3},
+}
+
+// DeepestAffordable returns the deepest state whose wake latency fits inside
+// the given idle-time slack, i.e. the state a DynSleep-style governor would
+// pick when it knows the next deadline leaves slackMs of headroom.
+func DeepestAffordable(states []CState, slackMs float64) CState {
+	best := states[0]
+	for _, s := range states[1:] {
+		if s.WakeMs <= slackMs && s.PowerW < best.PowerW {
+			best = s
+		}
+	}
+	return best
+}

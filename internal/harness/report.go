@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a printable experiment result: a title, free-form preamble
+// lines, and an aligned table.
+type Report struct {
+	Title    string
+	Preamble []string
+	Header   []string
+	Rows     [][]string
+}
+
+// AddRow appends a formatted table row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Note appends a preamble line.
+func (r *Report) Note(format string, args ...any) {
+	r.Preamble = append(r.Preamble, fmt.Sprintf(format, args...))
+}
+
+// String renders the report with aligned columns.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== " + r.Title + " ==\n")
+	for _, l := range r.Preamble {
+		b.WriteString(l + "\n")
+	}
+	if len(r.Header) == 0 && len(r.Rows) == 0 {
+		return b.String()
+	}
+	widths := make([]int, len(r.Header))
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(r.Header)
+	for _, row := range r.Rows {
+		measure(row)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total) + "\n")
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob-serializable form of a network (scratch buffers are
+// rebuilt on load).
+type snapshot struct {
+	Layers []layerSnapshot
+}
+
+type layerSnapshot struct {
+	In, Out int
+	Act     Activation
+	W, B    []float64
+}
+
+// Save writes the network's architecture and weights to w.
+func (n *Network) Save(w io.Writer) error {
+	var s snapshot
+	for _, l := range n.Layers {
+		s.Layers = append(s.Layers, layerSnapshot{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: load: empty network")
+	}
+	net := &Network{}
+	for _, ls := range s.Layers {
+		if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: load: inconsistent layer shape %dx%d", ls.In, ls.Out)
+		}
+		d := &Dense{
+			In: ls.In, Out: ls.Out, Act: ls.Act,
+			W: ls.W, B: ls.B,
+			z: make([]float64, ls.Out), out: make([]float64, ls.Out),
+			in:    make([]float64, ls.In),
+			gradW: make([]float64, ls.Out*ls.In), gradB: make([]float64, ls.Out),
+			dIn: make([]float64, ls.In),
+		}
+		net.Layers = append(net.Layers, d)
+	}
+	return net, nil
+}
+
+// SaveFile writes the network to a file path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Save(f)
+}
+
+// LoadFile reads a network from a file path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

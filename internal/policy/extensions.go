@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"gemini/internal/cpu"
+	"gemini/internal/sim"
+	"gemini/internal/stats"
+)
+
+// EETL is an EETL-style controller (paper ref [16], Table I): every request
+// starts at a low frequency and boosts to maximum once its execution time
+// crosses a shared threshold; the threshold is adjusted per epoch by a PID
+// controller tracking the epoch tail latency against the budget. Requests in
+// an epoch share the same boosting threshold, so short-term per-query
+// variation is not captured — the paper's criticism.
+type EETL struct {
+	EpochMs   float64
+	LowFreq   cpu.Freq
+	threshold float64 // execution time after which a request boosts
+	integral  float64
+	epochLat  []float64
+}
+
+// NewEETL returns the controller with defaults matched to the 40 ms budget.
+func NewEETL() *EETL {
+	return &EETL{EpochMs: 125, LowFreq: 1.6}
+}
+
+// Name implements sim.Policy.
+func (p *EETL) Name() string { return "EETL" }
+
+// Init implements sim.Policy.
+func (p *EETL) Init(s *sim.Sim) {
+	p.threshold = 0.5 * s.BudgetMs()
+	s.SetFreq(p.LowFreq)
+	s.SetTimer(p.EpochMs, 0)
+}
+
+// OnArrival implements sim.Policy.
+func (p *EETL) OnArrival(*sim.Sim, *sim.Request) {}
+
+// OnStart implements sim.Policy: low frequency, boost after the threshold.
+func (p *EETL) OnStart(s *sim.Sim, r *sim.Request) {
+	s.ClearPlannedChanges()
+	s.SetFreq(p.LowFreq)
+	s.PlanFreqChange(s.Now()+p.threshold, cpu.FDefault)
+}
+
+// OnDeparture implements sim.Policy.
+func (p *EETL) OnDeparture(s *sim.Sim, r *sim.Request) {
+	p.epochLat = append(p.epochLat, r.LatencyMs())
+	if len(s.Queue()) == 0 {
+		s.ClearPlannedChanges()
+		s.SetFreq(p.LowFreq)
+	}
+}
+
+// OnTimer implements sim.Policy: PI adjustment of the boost threshold.
+func (p *EETL) OnTimer(s *sim.Sim, _ int64) {
+	if len(p.epochLat) > 0 {
+		tail, _ := stats.Percentile(p.epochLat, 95)
+		err := 0.9*s.BudgetMs() - tail // positive: headroom, raise threshold
+		p.integral += err
+		p.threshold += 0.25*err + 0.02*p.integral
+		if p.threshold < 0 {
+			p.threshold = 0
+		}
+		if p.threshold > s.BudgetMs() {
+			p.threshold = s.BudgetMs()
+		}
+		p.epochLat = p.epochLat[:0]
+	}
+	s.SetTimer(s.Now()+p.EpochMs, 0)
+}
+
+// PACEOracle is a clairvoyant lower bound in the spirit of PACE (paper ref
+// [19], Table I): it reads each request's true total work (which no real
+// policy can know) and runs the queue at the exact continuous frequency that
+// finishes every request just in time. It bounds from below the power any
+// prediction-based scheme could reach; the paper notes PACE's per-query LP
+// "has a very high overhead, precluding real deployment".
+//
+// The oracle is clairvoyant about work, not about future arrivals: pacing
+// just-in-time consumes all slack, so a burst landing behind a stretched
+// request can make deadlines infeasible that an always-max baseline would
+// have met — the same "latter request might violate its deadline" weakness
+// Table I attributes to PACE. Its energy is the meaningful bound.
+type PACEOracle struct {
+	IdleFreq cpu.Freq
+}
+
+// NewPACEOracle returns the oracle bound policy.
+func NewPACEOracle() *PACEOracle {
+	return &PACEOracle{IdleFreq: cpu.DefaultLadder().Min()}
+}
+
+// Name implements sim.Policy.
+func (p *PACEOracle) Name() string { return "PACE-oracle" }
+
+// Init implements sim.Policy.
+func (p *PACEOracle) Init(s *sim.Sim) { s.SetFreq(p.IdleFreq) }
+
+// OnArrival implements sim.Policy.
+func (p *PACEOracle) OnArrival(s *sim.Sim, r *sim.Request) { p.replan(s) }
+
+// OnStart implements sim.Policy.
+func (p *PACEOracle) OnStart(*sim.Sim, *sim.Request) {}
+
+// OnDeparture implements sim.Policy.
+func (p *PACEOracle) OnDeparture(s *sim.Sim, r *sim.Request) { p.replan(s) }
+
+// OnTimer implements sim.Policy.
+func (p *PACEOracle) OnTimer(*sim.Sim, int64) {}
+
+// replan sets the exact continuous frequency clearing all true residual work
+// by each deadline (no ladder quantization: the oracle has ideal hardware).
+func (p *PACEOracle) replan(s *sim.Sim) {
+	q := s.Queue()
+	if len(q) == 0 {
+		s.SetFreq(p.IdleFreq)
+		return
+	}
+	now := s.Now()
+	cum := float64(q[0].Remaining())
+	required := 0.0
+	for k, r := range q {
+		if k > 0 {
+			cum += float64(r.WorkTotal)
+		}
+		// Leave room for two transition stalls: this replan's and a later
+		// arrival's — the oracle is clairvoyant about work, not arrivals.
+		window := r.DeadlineMs - now - 2*s.TdvfsMs()
+		if window <= 0 {
+			required = float64(cpu.FDefault)
+			break
+		}
+		if f := cum / window; f > required {
+			required = f
+		}
+	}
+	f := cpu.Freq(required * 1.001)
+	if f < p.IdleFreq {
+		f = p.IdleFreq
+	}
+	if f > cpu.FDefault {
+		f = cpu.FDefault
+	}
+	s.SetFreq(f)
+}

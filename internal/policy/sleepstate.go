@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"gemini/internal/cpu"
+	"gemini/internal/sim"
+)
+
+// SleepWrapper composes any DVFS policy with C-state management — the
+// extension the paper sketches in §I ("the technique can also be extended to
+// Sleep states"). Whenever the wrapped policy leaves the queue empty, the
+// core enters the deepest sleep state whose wake latency is an acceptable
+// fraction of the latency budget; the next arrival pays the wake latency.
+type SleepWrapper struct {
+	Inner sim.Policy
+	// States is the available C-state ladder (cpu.DefaultCStates if nil).
+	States []cpu.CState
+	// MaxWakeFraction bounds the wake latency to this fraction of the
+	// budget (default 1%): deep sleep must never endanger the deadline.
+	MaxWakeFraction float64
+}
+
+// NewSleepWrapper wraps a policy with the default C-state ladder.
+func NewSleepWrapper(inner sim.Policy) *SleepWrapper {
+	return &SleepWrapper{Inner: inner, States: cpu.DefaultCStates, MaxWakeFraction: 0.01}
+}
+
+// Name implements sim.Policy.
+func (p *SleepWrapper) Name() string { return p.Inner.Name() + "+Sleep" }
+
+// Init implements sim.Policy.
+func (p *SleepWrapper) Init(s *sim.Sim) {
+	if p.States == nil {
+		p.States = cpu.DefaultCStates
+	}
+	if p.MaxWakeFraction == 0 {
+		p.MaxWakeFraction = 0.01
+	}
+	p.Inner.Init(s)
+	p.maybeSleep(s)
+}
+
+// OnArrival implements sim.Policy.
+func (p *SleepWrapper) OnArrival(s *sim.Sim, r *sim.Request) { p.Inner.OnArrival(s, r) }
+
+// OnStart implements sim.Policy.
+func (p *SleepWrapper) OnStart(s *sim.Sim, r *sim.Request) { p.Inner.OnStart(s, r) }
+
+// OnDeparture implements sim.Policy.
+func (p *SleepWrapper) OnDeparture(s *sim.Sim, r *sim.Request) {
+	p.Inner.OnDeparture(s, r)
+	p.maybeSleep(s)
+}
+
+// OnTimer implements sim.Policy.
+func (p *SleepWrapper) OnTimer(s *sim.Sim, tag int64) { p.Inner.OnTimer(s, tag) }
+
+func (p *SleepWrapper) maybeSleep(s *sim.Sim) {
+	if len(s.Queue()) > 0 {
+		return
+	}
+	st := cpu.DeepestAffordable(p.States, p.MaxWakeFraction*s.BudgetMs())
+	s.Sleep(st.PowerW, st.WakeMs)
+}

@@ -1,0 +1,173 @@
+package predictor
+
+import (
+	"gemini/internal/nn"
+	"gemini/internal/search"
+)
+
+// Config selects the architecture and training budget of the NN predictors.
+type Config struct {
+	Hidden    []int // hidden layer widths (relu)
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	MaxMs     int // classifier buckets cover [0, MaxMs] at 1 ms granularity
+}
+
+// PaperConfig reproduces the paper's architecture: 5 hidden layers of 128
+// relu neurons, trained with Adam (§IV-A). Training this in pure Go takes
+// tens of seconds; use DefaultConfig for interactive runs.
+func PaperConfig() Config {
+	return Config{Hidden: []int{128, 128, 128, 128, 128}, Epochs: 40, BatchSize: 32, LR: 1e-3, Seed: 1, MaxMs: 60}
+}
+
+// DefaultConfig is the scaled-down architecture used by the experiment
+// harness: same shape (deep relu MLP + per-ms classifier head), sized so the
+// whole predictor suite trains in a few seconds.
+func DefaultConfig() Config {
+	return Config{Hidden: []int{48, 48}, Epochs: 25, BatchSize: 32, LR: 2e-3, Seed: 1, MaxMs: 60}
+}
+
+// TestConfig is a minimal configuration for unit tests.
+func TestConfig() Config {
+	return Config{Hidden: []int{16}, Epochs: 8, BatchSize: 32, LR: 3e-3, Seed: 1, MaxMs: 60}
+}
+
+// NNClassifier is the paper's latency predictor: a relu MLP with one output
+// neuron per millisecond bucket, trained with sparse categorical
+// cross-entropy and Adam (§IV-A). Predictions return the bucket center.
+type NNClassifier struct {
+	net    *nn.Network
+	scaler *nn.Scaler
+	cols   []int // feature subset (nil = all); supports the Fig. 6 sweep
+	maxMs  int
+	buf    []float64
+}
+
+// TrainClassifier fits the classifier on the training samples using the
+// feature columns in cols (nil means all Table II features).
+func TrainClassifier(train []Sample, cols []int, cfg Config) *NNClassifier {
+	X, Y := featureMatrix(train, cols)
+	scaler := nn.FitScaler(X, logColumns(cols))
+	Xs := scaler.TransformAll(X)
+	classes := cfg.MaxMs + 1
+	for i := range Y {
+		Y[i] = float64(clampClass(Y[i], cfg.MaxMs))
+	}
+	net := nn.NewMLP(len(Xs[0]), cfg.Hidden, classes, cfg.Seed)
+	tr := &nn.Trainer{
+		Net: net, Loss: &nn.CrossEntropy{}, Opt: nn.NewAdam(cfg.LR),
+		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 100,
+	}
+	_, _ = tr.Fit(Xs, Y)
+	return &NNClassifier{net: net, scaler: scaler, cols: cols, maxMs: cfg.MaxMs, buf: make([]float64, len(Xs[0]))}
+}
+
+func clampClass(ms float64, maxMs int) int {
+	c := int(ms)
+	if c < 0 {
+		c = 0
+	}
+	if c > maxMs {
+		c = maxMs
+	}
+	return c
+}
+
+func (c *NNClassifier) project(fv search.FeatureVector) []float64 {
+	if c.cols == nil {
+		c.scaler.TransformInto(fv[:], c.buf)
+	} else {
+		raw := make([]float64, len(c.cols))
+		for j, col := range c.cols {
+			raw[j] = fv[col]
+		}
+		c.scaler.TransformInto(raw, c.buf)
+	}
+	return c.buf
+}
+
+// PredictMs implements ServicePredictor: the center of the argmax bucket.
+func (c *NNClassifier) PredictMs(fv search.FeatureVector) float64 {
+	out := c.net.Forward(c.project(fv))
+	return float64(nn.Argmax(out)) + 0.5
+}
+
+// PredictClass returns the raw argmax bucket.
+func (c *NNClassifier) PredictClass(fv search.FeatureVector) int {
+	return nn.Argmax(c.net.Forward(c.project(fv)))
+}
+
+// Name implements ServicePredictor.
+func (c *NNClassifier) Name() string { return "NN classifier" }
+
+// OverheadUs implements ServicePredictor.
+func (c *NNClassifier) OverheadUs() float64 { return modelOverheadUs(c.net.NumParams()) }
+
+// Network exposes the underlying model (for persistence).
+func (c *NNClassifier) Network() *nn.Network { return c.net }
+
+// NNRegressor is the Fig. 7 baseline: same MLP body with a single linear
+// output trained on MSE with RMSprop (§IV-B).
+type NNRegressor struct {
+	net    *nn.Network
+	scaler *nn.Scaler
+	buf    []float64
+}
+
+// TrainRegressor fits the regressor on all Table II features.
+func TrainRegressor(train []Sample, cfg Config) *NNRegressor {
+	X, Y := featureMatrix(train, nil)
+	scaler := nn.FitScaler(X, logColumns(nil))
+	Xs := scaler.TransformAll(X)
+	net := nn.NewMLP(len(Xs[0]), cfg.Hidden, 1, cfg.Seed+1)
+	tr := &nn.Trainer{
+		Net: net, Loss: nn.MSE{}, Opt: nn.NewRMSprop(cfg.LR),
+		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 101,
+	}
+	_, _ = tr.Fit(Xs, Y)
+	return &NNRegressor{net: net, scaler: scaler, buf: make([]float64, len(Xs[0]))}
+}
+
+// PredictMs implements ServicePredictor.
+func (r *NNRegressor) PredictMs(fv search.FeatureVector) float64 {
+	r.scaler.TransformInto(fv[:], r.buf)
+	v := r.net.Forward(r.buf)[0]
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Name implements ServicePredictor.
+func (r *NNRegressor) Name() string { return "NN regressor" }
+
+// OverheadUs implements ServicePredictor.
+func (r *NNRegressor) OverheadUs() float64 { return modelOverheadUs(r.net.NumParams()) }
+
+// LinearClassifier is the Fig. 7 "simple linear classifier": multinomial
+// logistic regression straight from features to per-ms buckets.
+type LinearClassifier struct {
+	inner *NNClassifier
+}
+
+// TrainLinear fits the linear classifier.
+func TrainLinear(train []Sample, cfg Config) *LinearClassifier {
+	linCfg := cfg
+	linCfg.Hidden = nil
+	return &LinearClassifier{inner: TrainClassifier(train, nil, linCfg)}
+}
+
+// PredictMs implements ServicePredictor.
+func (l *LinearClassifier) PredictMs(fv search.FeatureVector) float64 {
+	return l.inner.PredictMs(fv)
+}
+
+// Name implements ServicePredictor.
+func (l *LinearClassifier) Name() string { return "Linear classifier" }
+
+// OverheadUs implements ServicePredictor.
+func (l *LinearClassifier) OverheadUs() float64 {
+	return modelOverheadUs(l.inner.net.NumParams())
+}

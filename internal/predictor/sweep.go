@@ -1,0 +1,44 @@
+package predictor
+
+import "gemini/internal/search"
+
+// SweepPoint is one row of the Fig. 6 feature-importance sweep: the accuracy
+// of a classifier trained on the first i+1 features of the order.
+type SweepPoint struct {
+	Feature  string  // feature added at this step
+	Accuracy float64 // ±1 ms classification accuracy on the test set
+}
+
+// DefaultSweepOrder is the bottom-to-top feature-addition order of Fig. 6
+// (all Table II features except Query_Length, which the figure omits).
+func DefaultSweepOrder() []int {
+	order := make([]int, 0, search.NumFeatures-1)
+	for i := 0; i < search.NumFeatures-1; i++ {
+		order = append(order, i)
+	}
+	return order
+}
+
+// FeatureSweep retrains the NN classifier with a growing feature subset and
+// reports test accuracy after each addition — the reproduction of Fig. 6.
+// Accuracy is the fraction of test samples predicted within ±1 ms.
+func FeatureSweep(ds *Dataset, cfg Config, order []int) []SweepPoint {
+	if order == nil {
+		order = DefaultSweepOrder()
+	}
+	points := make([]SweepPoint, 0, len(order))
+	for i := range order {
+		cols := order[:i+1]
+		clf := TrainClassifier(ds.Train, cols, cfg)
+		acc := classifierAccuracy(clf, ds.Test, 1.0)
+		points = append(points, SweepPoint{Feature: search.FeatureNames[order[i]], Accuracy: acc})
+	}
+	return points
+}
+
+// classifierAccuracy is the fraction of test samples with |prediction −
+// measured| <= tolMs.
+func classifierAccuracy(p ServicePredictor, test []Sample, tolMs float64) float64 {
+	e := Evaluate(p, test, tolMs)
+	return 1 - e.ErrorRate
+}

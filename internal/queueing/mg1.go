@@ -1,0 +1,90 @@
+// Package queueing provides closed-form M/G/1 queueing results used to
+// validate the discrete-event simulator against theory and to reason about
+// ISN capacity: with Poisson arrivals (the paper's traces are modeled as
+// non-homogeneous Poisson processes) and a general service distribution, the
+// Pollaczek–Khinchine formula gives the exact mean waiting time — any
+// correct FIFO single-server simulator must converge to it.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// MG1 describes an M/G/1 queue: Poisson arrivals at Lambda (requests per
+// ms), i.i.d. service times with the given mean and variance (ms, ms²).
+type MG1 struct {
+	LambdaPerMs   float64
+	MeanServiceMs float64
+	ServiceVarMs2 float64
+}
+
+// ErrUnstable is returned when utilization reaches 1.
+var ErrUnstable = errors.New("queueing: utilization >= 1, queue is unstable")
+
+// Rho returns the utilization λ·E[S].
+func (m MG1) Rho() float64 { return m.LambdaPerMs * m.MeanServiceMs }
+
+// SCV returns the squared coefficient of variation of service times.
+func (m MG1) SCV() float64 {
+	if m.MeanServiceMs == 0 {
+		return 0
+	}
+	return m.ServiceVarMs2 / (m.MeanServiceMs * m.MeanServiceMs)
+}
+
+// MeanWaitMs returns the mean queueing delay (Pollaczek–Khinchine):
+//
+//	Wq = λ·E[S²] / (2(1−ρ)) = ρ·E[S]·(1+C²) / (2(1−ρ))
+func (m MG1) MeanWaitMs() (float64, error) {
+	rho := m.Rho()
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	es2 := m.ServiceVarMs2 + m.MeanServiceMs*m.MeanServiceMs
+	return m.LambdaPerMs * es2 / (2 * (1 - rho)), nil
+}
+
+// MeanLatencyMs returns the mean sojourn time Wq + E[S].
+func (m MG1) MeanLatencyMs() (float64, error) {
+	wq, err := m.MeanWaitMs()
+	if err != nil {
+		return 0, err
+	}
+	return wq + m.MeanServiceMs, nil
+}
+
+// MeanQueueLen returns the time-average number in system (Little's law).
+func (m MG1) MeanQueueLen() (float64, error) {
+	w, err := m.MeanLatencyMs()
+	if err != nil {
+		return 0, err
+	}
+	return m.LambdaPerMs * w, nil
+}
+
+// MM1TailLatencyMs returns the p-quantile (0<p<1) of sojourn time for the
+// exponential-service special case (M/M/1), where the sojourn time is
+// exponential with rate µ−λ — a closed-form anchor for tail checks.
+func (m MG1) MM1TailLatencyMs(p float64) (float64, error) {
+	rho := m.Rho()
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("queueing: quantile out of (0,1)")
+	}
+	mu := 1 / m.MeanServiceMs
+	return -math.Log(1-p) / (mu - m.LambdaPerMs), nil
+}
+
+// StableFrequencyGHz returns the minimum CPU frequency (relative to a
+// default-frequency work demand) keeping the queue stable with the given
+// headroom factor (<1): f ≥ λ·W_mean / headroom where W_mean = E[S]·fDefault.
+// This is the capacity floor any DVFS policy must respect on average.
+func StableFrequencyGHz(lambdaPerMs, meanServiceMsAtDefault, fDefaultGHz, headroom float64) float64 {
+	if headroom <= 0 || headroom > 1 {
+		headroom = 1
+	}
+	return lambdaPerMs * meanServiceMsAtDefault * fDefaultGHz / headroom
+}

@@ -1,0 +1,73 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"gemini/internal/corpus"
+	"gemini/internal/index"
+)
+
+func benchEngine(b *testing.B) (*corpus.Corpus, *Engine) {
+	b.Helper()
+	if testCorpus == nil {
+		testCorpus = corpus.Generate(corpus.SmallSpec())
+		testIndex = index.Build(testCorpus)
+	}
+	return testCorpus, NewEngine(testIndex, DefaultK)
+}
+
+func BenchmarkSearchSingleTerm(b *testing.B) {
+	c, e := benchEngine(b)
+	q, _ := corpus.ParseQuery(c, "united")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(q)
+	}
+}
+
+func BenchmarkSearchPhraseMaxScore(b *testing.B) {
+	c, e := benchEngine(b)
+	q, _ := corpus.ParseQuery(c, "united kingdom")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(q)
+	}
+}
+
+func BenchmarkSearchMixedQueries(b *testing.B) {
+	c, e := benchEngine(b)
+	qs := corpus.NewQueryGen(c, 1).Batch(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	c, e := benchEngine(b)
+	x := NewExtractor(e)
+	qs := corpus.NewQueryGen(c, 2).Batch(256)
+	// Warm the per-term cache first: the steady-state cost is what the ISN
+	// pays per request.
+	for _, q := range qs {
+		x.Features(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Features(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkMeasuredWork(b *testing.B) {
+	c, e := benchEngine(b)
+	x := NewExtractor(e)
+	j := DefaultJitter()
+	q, _ := corpus.ParseQuery(c, "canada")
+	fv := x.Features(q)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.MeasuredWork(10, fv, rng)
+	}
+}

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"gemini/internal/corpus"
+)
+
+// CachedEngine wraps an Engine with an LRU result cache (paper ref [22],
+// "Design trade-offs for search engine caching"). A hit skips retrieval
+// entirely: its ExecStats are empty except for a fixed lookup charge, so the
+// cost model prices a cached query at roughly the engine's fixed overhead —
+// which is also what a DVFS policy would see.
+type CachedEngine struct {
+	inner    *Engine
+	capacity int
+
+	lru     *list.List               // of *cacheEntry, front = most recent
+	entries map[string]*list.Element // key -> element
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	key  string
+	exec Execution
+}
+
+// CacheLookupStats is the execution-counter charge of a cache hit: one
+// probe, nothing else.
+var CacheLookupStats = ExecStats{Lookups: 1}
+
+// NewCachedEngine wraps the engine with an LRU of the given capacity.
+func NewCachedEngine(inner *Engine, capacity int) *CachedEngine {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CachedEngine{
+		inner:    inner,
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// cacheKey canonicalizes a query: term order does not change a disjunction's
+// results.
+func cacheKey(q corpus.Query) string {
+	ids := make([]int, len(q.Terms))
+	for i, t := range q.Terms {
+		ids[i] = int(t)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+// Search returns the cached execution on a hit (with CacheLookupStats and
+// the stored results) or evaluates, stores, and returns on a miss.
+func (c *CachedEngine) Search(q corpus.Query) Execution {
+	key := cacheKey(q)
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		hit := el.Value.(*cacheEntry).exec
+		return Execution{Results: hit.Results, Stats: CacheLookupStats}
+	}
+	c.misses++
+	ex := c.inner.Search(q)
+	el := c.lru.PushFront(&cacheEntry{key: key, exec: ex})
+	c.entries[key] = el
+	if c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return ex
+}
+
+// Stats returns hit and miss counts since construction.
+func (c *CachedEngine) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// HitRate returns the hit fraction (0 if nothing looked up).
+func (c *CachedEngine) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Len returns the number of cached entries.
+func (c *CachedEngine) Len() int { return c.lru.Len() }
+
+// Inner returns the wrapped engine.
+func (c *CachedEngine) Inner() *Engine { return c.inner }

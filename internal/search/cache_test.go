@@ -1,0 +1,109 @@
+package search
+
+import (
+	"testing"
+
+	"gemini/internal/corpus"
+)
+
+func TestCacheHitReturnsSameResults(t *testing.T) {
+	c, e := setup(t)
+	ce := NewCachedEngine(e, 100)
+	q, _ := corpus.ParseQuery(c, "united kingdom")
+
+	miss := ce.Search(q)
+	hit := ce.Search(q)
+	if len(miss.Results) != len(hit.Results) {
+		t.Fatalf("hit results differ: %d vs %d", len(hit.Results), len(miss.Results))
+	}
+	for i := range miss.Results {
+		if miss.Results[i] != hit.Results[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	if hit.Stats != CacheLookupStats {
+		t.Errorf("hit stats = %+v, want lookup-only", hit.Stats)
+	}
+	if miss.Stats.PostingsVisited == 0 {
+		t.Errorf("miss did not execute")
+	}
+	if h, m := ce.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats = %d/%d", h, m)
+	}
+}
+
+func TestCacheKeyOrderInvariant(t *testing.T) {
+	c, e := setup(t)
+	ce := NewCachedEngine(e, 10)
+	q1, _ := corpus.ParseQuery(c, "united kingdom")
+	q2 := corpus.Query{Terms: []corpus.TermID{q1.Terms[1], q1.Terms[0]}}
+	ce.Search(q1)
+	ce.Search(q2) // reversed term order must hit
+	if h, _ := ce.Stats(); h != 1 {
+		t.Errorf("reversed-term query missed the cache (hits=%d)", h)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	_, e := setup(t)
+	ce := NewCachedEngine(e, 2)
+	qs := []corpus.Query{
+		{Terms: []corpus.TermID{0}},
+		{Terms: []corpus.TermID{1}},
+		{Terms: []corpus.TermID{2}},
+	}
+	ce.Search(qs[0])
+	ce.Search(qs[1])
+	ce.Search(qs[0]) // refresh 0; LRU order now [0, 1]
+	ce.Search(qs[2]) // evicts 1
+	if ce.Len() != 2 {
+		t.Fatalf("len = %d", ce.Len())
+	}
+	ce.Search(qs[1]) // must miss (evicted)
+	if _, m := ce.Stats(); m != 4 {
+		t.Errorf("misses = %d, want 4", m)
+	}
+	ce.Search(qs[0]) // 0 was refreshed: may have been evicted by re-adding 1
+	_ = ce.HitRate()
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c, e := setup(t)
+	ce := NewCachedEngine(e, 1000)
+	if ce.HitRate() != 0 {
+		t.Error("empty cache hit rate nonzero")
+	}
+	// Zipf query stream: popular queries repeat, so a big cache gets a
+	// meaningful hit rate — the caching trade-off of ref [22].
+	g := corpus.NewQueryGen(c, 99)
+	for i := 0; i < 2000; i++ {
+		ce.Search(g.Next())
+	}
+	if hr := ce.HitRate(); hr < 0.05 || hr > 0.95 {
+		t.Errorf("hit rate = %.2f, expected a moderate value on a Zipf stream", hr)
+	}
+	if ce.Inner() != e {
+		t.Error("inner engine lost")
+	}
+}
+
+func TestCacheCapacityClamped(t *testing.T) {
+	_, e := setup(t)
+	ce := NewCachedEngine(e, 0)
+	ce.Search(corpus.Query{Terms: []corpus.TermID{0}})
+	ce.Search(corpus.Query{Terms: []corpus.TermID{1}})
+	if ce.Len() != 1 {
+		t.Errorf("len = %d, want 1 (capacity clamp)", ce.Len())
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c, e := benchEngine(b)
+	ce := NewCachedEngine(e, 100)
+	q, _ := corpus.ParseQuery(c, "united kingdom")
+	ce.Search(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ce.Search(q)
+	}
+}

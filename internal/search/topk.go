@@ -1,0 +1,103 @@
+package search
+
+// Result is one scored document.
+type Result struct {
+	Doc   int32
+	Score float32
+}
+
+// topKHeap is a fixed-capacity min-heap over scores: the root is the K-th
+// best score seen so far, i.e. the pruning threshold θ of MaxScore.
+// Implemented by hand (rather than container/heap) to keep the per-insert
+// cost accounting explicit.
+type topKHeap struct {
+	k       int
+	items   []Result
+	pushes  int // heap insertions (cost-model counter)
+	evicted int
+}
+
+func newTopKHeap(k int) *topKHeap {
+	if k < 1 {
+		k = 1
+	}
+	return &topKHeap{k: k, items: make([]Result, 0, k)}
+}
+
+// threshold returns the current K-th best score, or 0 if fewer than K
+// documents have been collected (nothing can be pruned yet).
+func (h *topKHeap) threshold() float32 {
+	if len(h.items) < h.k {
+		return 0
+	}
+	return h.items[0].Score
+}
+
+func (h *topKHeap) full() bool { return len(h.items) >= h.k }
+
+// offer inserts the result if it beats the current threshold, returning
+// whether it was admitted.
+func (h *topKHeap) offer(r Result) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.siftUp(len(h.items) - 1)
+		h.pushes++
+		return true
+	}
+	if r.Score <= h.items[0].Score {
+		return false
+	}
+	h.items[0] = r
+	h.siftDown(0)
+	h.pushes++
+	h.evicted++
+	return true
+}
+
+func (h *topKHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Score <= h.items[i].Score {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *topKHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].Score < h.items[smallest].Score {
+			smallest = l
+		}
+		if r < n && h.items[r].Score < h.items[smallest].Score {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// results returns the collected documents sorted by descending score (ties
+// broken by ascending document ID for determinism).
+func (h *topKHeap) results() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	// Simple insertion-style sort is fine for K ≤ a few hundred.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Score > b.Score || (a.Score == b.Score && a.Doc <= b.Doc) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package search
+
+import (
+	"sort"
+
+	"gemini/internal/index"
+)
+
+// Algorithm selects the query-evaluation strategy. MaxScore is the default
+// (and what the cost model is calibrated for); WAND is the other classic
+// dynamic-pruning family the paper cites (refs [21], [24]); Exhaustive
+// disables pruning entirely and is the correctness oracle as well as the
+// "no pruning" ablation point.
+type Algorithm int
+
+const (
+	// AlgMaxScore evaluates with document-at-a-time MaxScore pruning.
+	AlgMaxScore Algorithm = iota
+	// AlgWAND evaluates with the Weak-AND pivot-based pruning algorithm.
+	AlgWAND
+	// AlgExhaustive scores every posting of every list.
+	AlgExhaustive
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgMaxScore:
+		return "maxscore"
+	case AlgWAND:
+		return "wand"
+	case AlgExhaustive:
+		return "exhaustive"
+	default:
+		return "unknown"
+	}
+}
+
+// NewEngineWith creates an engine with an explicit evaluation algorithm.
+func NewEngineWith(ix *index.Index, k int, alg Algorithm) *Engine {
+	e := NewEngine(ix, k)
+	e.alg = alg
+	return e
+}
+
+// Algorithm returns the engine's evaluation strategy.
+func (e *Engine) Algorithm() Algorithm { return e.alg }
+
+// searchWAND runs the WAND pivot algorithm over >= 2 lists: lists are kept
+// ordered by their current document; the pivot is the first list at which
+// the cumulative upper bound exceeds the threshold θ. If all lists before
+// the pivot already sit on the pivot document it is fully scored; otherwise
+// the lagging lists skip forward to it.
+func (e *Engine) searchWAND(lists []*index.PostingList) Execution {
+	type cursor struct {
+		pl  *index.PostingList
+		pos int
+	}
+	cur := make([]*cursor, 0, len(lists))
+	for _, pl := range lists {
+		if pl.Len() > 0 {
+			cur = append(cur, &cursor{pl: pl})
+		}
+	}
+	h := newTopKHeap(e.k)
+	st := ExecStats{Terms: len(lists)}
+
+	doc := func(c *cursor) int32 { return c.pl.Postings[c.pos].Doc }
+	byDoc := func() { sort.Slice(cur, func(i, j int) bool { return doc(cur[i]) < doc(cur[j]) }) }
+
+	for len(cur) > 0 {
+		byDoc()
+		theta := h.threshold()
+		// Find the pivot: smallest prefix whose upper bounds can beat θ.
+		ub := float32(0)
+		pivot := -1
+		for i, c := range cur {
+			ub += c.pl.MaxImpact
+			if ub > theta || !h.full() {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			break // no document can beat the threshold anymore
+		}
+		pivotDoc := doc(cur[pivot])
+		if doc(cur[0]) == pivotDoc {
+			// All lists up to the pivot aligned: fully score pivotDoc.
+			var score float32
+			for _, c := range cur {
+				if doc(c) != pivotDoc {
+					break
+				}
+				score += c.pl.Postings[c.pos].Impact
+				st.PostingsVisited++
+			}
+			st.DocsScored++
+			if h.offer(Result{Doc: pivotDoc, Score: score}) {
+				st.DocsEverInTopK++
+			}
+			// Advance every aligned list past the pivot.
+			alive := cur[:0]
+			for _, c := range cur {
+				if doc(c) == pivotDoc {
+					c.pos++
+				}
+				if c.pos < c.pl.Len() {
+					alive = append(alive, c)
+				}
+			}
+			cur = alive
+			continue
+		}
+		// Skip the lagging lists up to the pivot document.
+		alive := cur[:0]
+		for i, c := range cur {
+			if i < pivot && doc(c) < pivotDoc {
+				c.pos += gallop(c.pl.Postings[c.pos:], pivotDoc, &st.Lookups)
+			}
+			if c.pos < c.pl.Len() {
+				alive = append(alive, c)
+			}
+		}
+		cur = alive
+	}
+	st.HeapOps = h.pushes
+	return Execution{Results: h.results(), Stats: st}
+}
+
+// gallop returns how far to advance within postings to reach the first
+// entry with Doc >= target, counting probe steps into lookups.
+func gallop(postings []index.Posting, target int32, lookups *int) int {
+	// Exponential probe then binary search — standard skipping.
+	n := len(postings)
+	bound := 1
+	for bound < n && postings[bound].Doc < target {
+		*lookups++
+		bound *= 2
+	}
+	lo := bound / 2
+	hi := bound
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		*lookups++
+		mid := (lo + hi) / 2
+		if postings[mid].Doc < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchExhaustive scores every document of every list — the pruning-free
+// oracle.
+func (e *Engine) searchExhaustive(lists []*index.PostingList) Execution {
+	scores := map[int32]float32{}
+	st := ExecStats{Terms: len(lists)}
+	for _, pl := range lists {
+		for _, p := range pl.Postings {
+			scores[p.Doc] += p.Impact
+			st.PostingsVisited++
+		}
+	}
+	h := newTopKHeap(e.k)
+	// Deterministic iteration: collect and sort doc ids.
+	docs := make([]int32, 0, len(scores))
+	for d := range scores {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	for _, d := range docs {
+		st.DocsScored++
+		if h.offer(Result{Doc: d, Score: scores[d]}) {
+			st.DocsEverInTopK++
+		}
+	}
+	st.HeapOps = h.pushes
+	return Execution{Results: h.results(), Stats: st}
+}

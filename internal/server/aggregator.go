@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AggPolicy selects how the aggregator waits for shards (paper ref [2],
+// "Optimal aggregation policy for reducing tail latency of web search").
+type AggPolicy int
+
+const (
+	// WaitAll waits for every shard (the full-quality, tail-exposed option).
+	WaitAll AggPolicy = iota
+	// Partial returns once Quorum shards responded or Timeout elapsed;
+	// stragglers are ignored — exactly why the paper drops requests that
+	// cannot meet the ISN deadline (§III-A).
+	Partial
+)
+
+// AggResponse is the merged reply of the aggregator.
+type AggResponse struct {
+	Results         []ShardResult `json:"results"`
+	ShardsAsked     int           `json:"shards_asked"`
+	ShardsResponded int           `json:"shards_responded"`
+	LatencyMs       float64       `json:"latency_ms"`
+	// PerShard carries each responding ISN's timing metadata.
+	PerShard []ISNResponse `json:"per_shard"`
+}
+
+// Aggregator broadcasts queries to the shard ISNs and merges the top-K.
+type Aggregator struct {
+	ShardURLs []string
+	K         int
+	Policy    AggPolicy
+	Quorum    int           // Partial: shards to wait for (default all-1)
+	Timeout   time.Duration // Partial: straggler cutoff (default 100 ms)
+	Client    *http.Client
+}
+
+// NewAggregator builds an aggregator over the shard endpoints.
+func NewAggregator(urls []string, k int) *Aggregator {
+	return &Aggregator{
+		ShardURLs: urls,
+		K:         k,
+		Policy:    WaitAll,
+		Quorum:    len(urls),
+		Timeout:   100 * time.Millisecond,
+		Client:    &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Search broadcasts the query and merges shard responses per the policy.
+func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, error) {
+	if len(a.ShardURLs) == 0 {
+		return nil, fmt.Errorf("server: aggregator has no shards")
+	}
+	start := time.Now()
+	body, err := json.Marshal(SearchRequest{Query: query, K: a.K})
+	if err != nil {
+		return nil, err
+	}
+
+	type shardReply struct {
+		resp ISNResponse
+		err  error
+	}
+	replies := make(chan shardReply, len(a.ShardURLs))
+	var wg sync.WaitGroup
+	for _, url := range a.ShardURLs {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/search", bytes.NewReader(body))
+			if err != nil {
+				replies <- shardReply{err: err}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			httpResp, err := a.Client.Do(req)
+			if err != nil {
+				replies <- shardReply{err: err}
+				return
+			}
+			defer httpResp.Body.Close()
+			if httpResp.StatusCode != http.StatusOK {
+				replies <- shardReply{err: fmt.Errorf("shard %s: status %d", u, httpResp.StatusCode)}
+				return
+			}
+			var r ISNResponse
+			if err := json.NewDecoder(httpResp.Body).Decode(&r); err != nil {
+				replies <- shardReply{err: err}
+				return
+			}
+			replies <- shardReply{resp: r}
+		}(url)
+	}
+	go func() { wg.Wait(); close(replies) }()
+
+	quorum := a.Quorum
+	if quorum <= 0 || quorum > len(a.ShardURLs) {
+		quorum = len(a.ShardURLs)
+	}
+	deadline := time.NewTimer(a.Timeout)
+	defer deadline.Stop()
+
+	agg := &AggResponse{ShardsAsked: len(a.ShardURLs)}
+	var firstErr error
+collect:
+	for agg.ShardsResponded < len(a.ShardURLs) {
+		if a.Policy == Partial && agg.ShardsResponded >= quorum {
+			break
+		}
+		if a.Policy == Partial {
+			select {
+			case rep, ok := <-replies:
+				if !ok {
+					break collect
+				}
+				if rep.err != nil {
+					if firstErr == nil {
+						firstErr = rep.err
+					}
+					continue
+				}
+				agg.PerShard = append(agg.PerShard, rep.resp)
+				agg.ShardsResponded++
+			case <-deadline.C:
+				break collect // ignore stragglers
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else {
+			rep, ok := <-replies
+			if !ok {
+				break collect
+			}
+			if rep.err != nil {
+				if firstErr == nil {
+					firstErr = rep.err
+				}
+				continue
+			}
+			agg.PerShard = append(agg.PerShard, rep.resp)
+			agg.ShardsResponded++
+		}
+	}
+	if agg.ShardsResponded == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("server: no shard responded")
+	}
+
+	// Merge and rank across shards, keep the global top-K.
+	for _, r := range agg.PerShard {
+		agg.Results = append(agg.Results, r.Results...)
+	}
+	sort.Slice(agg.Results, func(i, j int) bool {
+		if agg.Results[i].Score != agg.Results[j].Score {
+			return agg.Results[i].Score > agg.Results[j].Score
+		}
+		if agg.Results[i].Shard != agg.Results[j].Shard {
+			return agg.Results[i].Shard < agg.Results[j].Shard
+		}
+		return agg.Results[i].Doc < agg.Results[j].Doc
+	})
+	if a.K > 0 && len(agg.Results) > a.K {
+		agg.Results = agg.Results[:a.K]
+	}
+	agg.LatencyMs = float64(time.Since(start).Microseconds()) / 1000
+	return agg, nil
+}
+
+// ServeHTTP exposes the aggregator as an HTTP endpoint.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := a.Search(r.Context(), req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

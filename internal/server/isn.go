@@ -1,0 +1,170 @@
+// Package server implements the paper's partition-aggregate search
+// architecture (Fig. 1a) as real HTTP services: Index Serving Nodes with the
+// Fig. 9 structure (SearchHandler → blocking queue → single working thread →
+// engine) and an aggregator that broadcasts each query to every shard and
+// merges the top-K responses, with the paper's aggregation-policy options
+// (wait-for-all vs. partial aggregation with a timeout, ref [2] — stragglers
+// beyond the timeout are ignored, which is why ISN-level deadlines matter).
+//
+// The servers run real retrieval; DVFS remains the domain of the simulator
+// (a real process cannot meaningfully change a laptop's frequency per
+// query), but each ISN response carries the modeled service time and the
+// predictors' view of the query, demonstrating the cross-process control
+// path the paper built on Solr.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gemini/internal/corpus"
+	"gemini/internal/cpu"
+	"gemini/internal/predictor"
+	"gemini/internal/search"
+)
+
+// SearchRequest is the JSON body of POST /search.
+type SearchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k,omitempty"`
+}
+
+// ShardResult is one document in an ISN response.
+type ShardResult struct {
+	Shard int     `json:"shard"`
+	Doc   int32   `json:"doc"`
+	Score float32 `json:"score"`
+}
+
+// ISNResponse is the JSON body of an ISN's reply.
+type ISNResponse struct {
+	Shard       int           `json:"shard"`
+	Results     []ShardResult `json:"results"`
+	ServiceMs   float64       `json:"service_ms"`   // modeled at FDefault
+	PredictedMs float64       `json:"predicted_ms"` // S* (0 if no predictor)
+	PredErrMs   float64       `json:"pred_err_ms"`  // E* (0 if no predictor)
+	QueueDepth  int           `json:"queue_depth"`
+}
+
+// ISN is one Index Serving Node: a single working thread draining a
+// blocking queue of search tasks (paper Fig. 9).
+type ISN struct {
+	ShardID   int
+	Corpus    *corpus.Corpus
+	Engine    *search.Engine
+	Extractor *search.Extractor
+	Cost      *search.CostModel
+
+	// Service and ErrPred, when set, annotate responses with the paper's
+	// predictions (the inputs Gemini's DVFS controller would consume).
+	Service predictor.ServicePredictor
+	ErrPred predictor.ErrorPredictor
+
+	queue   chan isnTask
+	started sync.Once
+	stopped chan struct{}
+	depth   int
+	mu      sync.Mutex
+}
+
+type isnTask struct {
+	query corpus.Query
+	k     int
+	resp  chan ISNResponse
+}
+
+// NewISN builds an ISN over its shard.
+func NewISN(shard int, c *corpus.Corpus, eng *search.Engine, cost *search.CostModel) *ISN {
+	return &ISN{
+		ShardID:   shard,
+		Corpus:    c,
+		Engine:    eng,
+		Extractor: search.NewExtractor(eng),
+		Cost:      cost,
+		queue:     make(chan isnTask, 1024),
+		stopped:   make(chan struct{}),
+	}
+}
+
+// Start launches the working thread. Idempotent.
+func (n *ISN) Start() {
+	n.started.Do(func() { go n.worker() })
+}
+
+// Stop terminates the working thread after the queue drains.
+func (n *ISN) Stop() { close(n.stopped) }
+
+func (n *ISN) worker() {
+	for {
+		select {
+		case t := <-n.queue:
+			t.resp <- n.execute(t)
+			n.mu.Lock()
+			n.depth--
+			n.mu.Unlock()
+		case <-n.stopped:
+			return
+		}
+	}
+}
+
+func (n *ISN) execute(t isnTask) ISNResponse {
+	ex := n.Engine.Search(t.query)
+	resp := ISNResponse{
+		Shard:     n.ShardID,
+		ServiceMs: cpu.TimeFor(n.Cost.WorkFor(ex.Stats), cpu.FDefault),
+	}
+	k := t.k
+	if k <= 0 || k > len(ex.Results) {
+		k = len(ex.Results)
+	}
+	for _, r := range ex.Results[:k] {
+		resp.Results = append(resp.Results, ShardResult{Shard: n.ShardID, Doc: r.Doc, Score: r.Score})
+	}
+	if n.Service != nil {
+		fv := n.Extractor.Features(t.query)
+		resp.PredictedMs = n.Service.PredictMs(fv)
+		if n.ErrPred != nil {
+			resp.PredErrMs = n.ErrPred.PredictErrMs(fv)
+		}
+	}
+	return resp
+}
+
+// ServeHTTP implements the ISN's /search endpoint: enqueue the task on the
+// blocking queue and wait for the working thread (the Fig. 9 Callable +
+// Executor structure).
+func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.Start()
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, ok := corpus.ParseQuery(n.Corpus, req.Query)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no known term in %q", req.Query), http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	n.depth++
+	depth := n.depth
+	n.mu.Unlock()
+
+	respCh := make(chan ISNResponse, 1)
+	select {
+	case n.queue <- isnTask{query: q, k: req.K, resp: respCh}:
+	case <-time.After(5 * time.Second):
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+		return
+	}
+	resp := <-respCh
+	resp.QueueDepth = depth
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gemini/internal/corpus"
+	"gemini/internal/index"
+	"gemini/internal/search"
+)
+
+// testCluster builds nShards ISNs over distinct corpus shards plus their
+// httptest servers.
+func testCluster(t testing.TB, nShards int) ([]*ISN, []*httptest.Server, []string) {
+	t.Helper()
+	var isns []*ISN
+	var servers []*httptest.Server
+	var urls []string
+	for s := 0; s < nShards; s++ {
+		spec := corpus.SmallSpec()
+		spec.Seed = int64(s + 1)
+		c := corpus.Generate(spec)
+		eng := search.NewEngine(index.Build(c), search.DefaultK)
+		cost := search.DefaultCostModel()
+		isn := NewISN(s, c, eng, cost)
+		isn.Start()
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/search") {
+				isn.ServeHTTP(w, r)
+				return
+			}
+			http.NotFound(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		t.Cleanup(isn.Stop)
+		isns = append(isns, isn)
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	return isns, servers, urls
+}
+
+func postSearch(t *testing.T, url, query string) (*http.Response, ISNResponse) {
+	t.Helper()
+	body, _ := json.Marshal(SearchRequest{Query: query})
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r ISNResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, r
+}
+
+func TestISNServesSearch(t *testing.T) {
+	_, _, urls := testCluster(t, 1)
+	resp, r := postSearch(t, urls[0], "united kingdom")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(r.Results) == 0 || len(r.Results) > search.DefaultK {
+		t.Fatalf("results = %d", len(r.Results))
+	}
+	if r.ServiceMs <= 0 {
+		t.Errorf("service ms = %v", r.ServiceMs)
+	}
+	for _, res := range r.Results {
+		if res.Shard != 0 {
+			t.Errorf("shard tag = %d", res.Shard)
+		}
+	}
+}
+
+func TestISNBadRequests(t *testing.T) {
+	_, _, urls := testCluster(t, 1)
+	resp, err := http.Post(urls[0]+"/search", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	resp2, _ := postSearch(t, urls[0], "zzzznotaword")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown terms: status %d", resp2.StatusCode)
+	}
+}
+
+func TestISNSingleWorkerSerializes(t *testing.T) {
+	isns, _, urls := testCluster(t, 1)
+	_ = isns
+	// Fire concurrent requests; the single working thread must serve all.
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(SearchRequest{Query: "canada"})
+			resp, err := http.Post(urls[0]+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- nil
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAggregatorMergesShards(t *testing.T) {
+	_, _, urls := testCluster(t, 3)
+	agg := NewAggregator(urls, 10)
+	resp, err := agg.Search(context.Background(), "united kingdom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsAsked != 3 || resp.ShardsResponded != 3 {
+		t.Fatalf("shards %d/%d", resp.ShardsResponded, resp.ShardsAsked)
+	}
+	if len(resp.Results) != 10 {
+		t.Fatalf("merged results = %d", len(resp.Results))
+	}
+	// Globally sorted by descending score.
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Score > resp.Results[i-1].Score {
+			t.Fatal("merged results not sorted")
+		}
+	}
+	// Per-shard metadata present.
+	if len(resp.PerShard) != 3 {
+		t.Errorf("per-shard metadata = %d", len(resp.PerShard))
+	}
+	if resp.LatencyMs <= 0 {
+		t.Errorf("latency = %v", resp.LatencyMs)
+	}
+}
+
+func TestAggregatorHTTPEndpoint(t *testing.T) {
+	_, _, urls := testCluster(t, 2)
+	agg := NewAggregator(urls, 5)
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+	body, _ := json.Marshal(SearchRequest{Query: "canada"})
+	resp, err := http.Post(srv.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ar AggResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Results) == 0 || len(ar.Results) > 5 {
+		t.Errorf("results = %d", len(ar.Results))
+	}
+}
+
+func TestAggregatorPartialIgnoresStragglers(t *testing.T) {
+	_, _, urls := testCluster(t, 2)
+	// A third "shard" that never answers in time.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	defer slow.Close()
+
+	agg := NewAggregator(append(urls, slow.URL), 10)
+	agg.Policy = Partial
+	agg.Quorum = 2
+	agg.Timeout = 500 * time.Millisecond
+
+	start := time.Now()
+	resp, err := agg.Search(context.Background(), "canada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsResponded != 2 {
+		t.Fatalf("responded = %d, want 2 (straggler ignored)", resp.ShardsResponded)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Errorf("partial aggregation waited %v for the straggler", elapsed)
+	}
+}
+
+func TestAggregatorTimeoutCutsOff(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	defer slow.Close()
+	_, _, urls := testCluster(t, 1)
+
+	agg := NewAggregator([]string{urls[0], slow.URL}, 10)
+	agg.Policy = Partial
+	agg.Quorum = 2 // wants both, but the timeout fires first
+	agg.Timeout = 300 * time.Millisecond
+	resp, err := agg.Search(context.Background(), "canada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsResponded != 1 {
+		t.Errorf("responded = %d, want 1", resp.ShardsResponded)
+	}
+}
+
+func TestAggregatorAllShardsDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	agg := NewAggregator([]string{dead.URL}, 10)
+	if _, err := agg.Search(context.Background(), "canada"); err == nil {
+		t.Error("dead shard produced a result")
+	}
+	empty := NewAggregator(nil, 10)
+	if _, err := empty.Search(context.Background(), "canada"); err == nil {
+		t.Error("empty shard list accepted")
+	}
+}
+
+func TestAggregatorContextCancel(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	defer slow.Close()
+	agg := NewAggregator([]string{slow.URL}, 10)
+	agg.Policy = Partial
+	agg.Quorum = 1
+	agg.Timeout = 3 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := agg.Search(ctx, "canada"); err == nil {
+		t.Error("cancelled context produced a result")
+	}
+}
+
+// isnWithPredictors attaches the trained predictors so responses carry the
+// S*/E* metadata Gemini's controller consumes.
+func TestISNPredictorAnnotations(t *testing.T) {
+	spec := corpus.SmallSpec()
+	c := corpus.Generate(spec)
+	eng := search.NewEngine(index.Build(c), search.DefaultK)
+	cost := search.DefaultCostModel()
+	isn := NewISN(0, c, eng, cost)
+
+	// A stub predictor pair keeps the test fast and deterministic.
+	isn.Service = stubService{ms: 7.5}
+	isn.ErrPred = stubError{ms: 1.25}
+	isn.Start()
+	t.Cleanup(isn.Stop)
+	srv := httptest.NewServer(isn)
+	t.Cleanup(srv.Close)
+
+	resp, r := postSearchTo(t, srv.URL, "canada")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if r.PredictedMs != 7.5 || r.PredErrMs != 1.25 {
+		t.Errorf("predictions = %v/%v, want 7.5/1.25", r.PredictedMs, r.PredErrMs)
+	}
+}
+
+type stubService struct{ ms float64 }
+
+func (s stubService) PredictMs(search.FeatureVector) float64 { return s.ms }
+func (s stubService) Name() string                           { return "stub" }
+func (s stubService) OverheadUs() float64                    { return 1 }
+
+type stubError struct{ ms float64 }
+
+func (s stubError) PredictErrMs(search.FeatureVector) float64 { return s.ms }
+func (s stubError) Name() string                              { return "stub-err" }
+func (s stubError) OverheadUs() float64                       { return 1 }
+
+// postSearchTo posts directly to a handler-rooted server URL (no /search
+// suffix assumptions beyond the handler itself).
+func postSearchTo(t *testing.T, url, query string) (*http.Response, ISNResponse) {
+	t.Helper()
+	body, _ := json.Marshal(SearchRequest{Query: query})
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r ISNResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, r
+}
+
+func TestISNResultKLimit(t *testing.T) {
+	spec := corpus.SmallSpec()
+	c := corpus.Generate(spec)
+	eng := search.NewEngine(index.Build(c), search.DefaultK)
+	isn := NewISN(0, c, eng, search.DefaultCostModel())
+	isn.Start()
+	t.Cleanup(isn.Stop)
+	srv := httptest.NewServer(isn)
+	t.Cleanup(srv.Close)
+
+	body, _ := json.Marshal(SearchRequest{Query: "united", K: 3})
+	resp, err := http.Post(srv.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r ISNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 3 {
+		t.Errorf("results = %d, want K=3", len(r.Results))
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gemini/internal/cpu"
+)
+
+// benchWorkload builds a Poisson-ish stream of n requests.
+func benchWorkload(n int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	wl := &Workload{BudgetMs: 40}
+	at := 0.0
+	for i := 0; i < n; i++ {
+		at += rng.ExpFloat64() * 25
+		w := cpu.Work((2 + rng.Float64()*20) * 2.7)
+		wl.Requests = append(wl.Requests, &Request{
+			ID: i, BaseWork: w, WorkTotal: w,
+			ArrivalMs: at, DeadlineMs: at + 40,
+		})
+	}
+	wl.DurationMs = at + 100
+	return wl
+}
+
+func BenchmarkRunFixedPolicy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		b.StartTimer()
+		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
+func BenchmarkRunWithPowerSeries(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PowerSeriesResMs = 1000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		b.StartTimer()
+		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	wl := benchWorkload(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dispatch(wl, 8)
+	}
+}
+
+func BenchmarkRunCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(4000, int64(i))
+		b.StartTimer()
+		RunCluster(DefaultConfig(), wl, 4, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+	}
+}

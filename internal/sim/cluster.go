@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"sort"
+
+	"gemini/internal/cpu"
+	"gemini/internal/stats"
+)
+
+// Cluster support: the paper's multi-core plan (§V) — "maintain a separate
+// queue for each core and have a global broker to distribute the incoming
+// requests to each core ... each core will manage its power consumption
+// independently by using Gemini's DVFS scheme".
+//
+// The broker dispatches on least-expected-work: it tracks a virtual finish
+// time per core (advanced by each request's base service time at the default
+// frequency) and routes every arrival to the core that would start it
+// soonest. Each core then runs as an independent single-ISN simulation.
+
+// ClusterResult aggregates the per-core results of a dispatched run.
+type ClusterResult struct {
+	PerCore []*Result
+
+	Total      int
+	Completed  int
+	Dropped    int
+	Violations int
+	EnergyMJ   float64
+	DurationMs float64
+	Latencies  []float64 // merged, sorted
+}
+
+// RunCluster partitions the workload over `cores` queues with the broker and
+// simulates each core with its own policy instance from mkPolicy.
+func RunCluster(cfg Config, wl *Workload, cores int, mkPolicy func(core int) Policy) *ClusterResult {
+	if cores < 1 {
+		cores = 1
+	}
+	parts := Dispatch(wl, cores)
+	cr := &ClusterResult{DurationMs: wl.DurationMs}
+	for c := 0; c < cores; c++ {
+		res := Run(cfg, parts[c], mkPolicy(c))
+		cr.PerCore = append(cr.PerCore, res)
+		cr.Total += res.Total
+		cr.Completed += res.Completed
+		cr.Dropped += res.Dropped
+		cr.Violations += res.Violations
+		cr.EnergyMJ += res.EnergyMJ
+		cr.Latencies = append(cr.Latencies, res.Latencies...)
+	}
+	sort.Float64s(cr.Latencies)
+	return cr
+}
+
+// Dispatch splits a workload into per-core workloads using the
+// least-expected-work broker. Request objects are shared (not copied); a
+// workload must not be dispatched and also run directly.
+func Dispatch(wl *Workload, cores int) []*Workload {
+	parts := make([]*Workload, cores)
+	for c := range parts {
+		parts[c] = &Workload{BudgetMs: wl.BudgetMs, DurationMs: wl.DurationMs}
+	}
+	vFinish := make([]float64, cores)
+	for _, r := range wl.Requests {
+		best := 0
+		for c := 1; c < cores; c++ {
+			if vFinish[c] < vFinish[best] {
+				best = c
+			}
+		}
+		start := r.ArrivalMs
+		if vFinish[best] > start {
+			start = vFinish[best]
+		}
+		vFinish[best] = start + cpu.TimeFor(r.BaseWork, cpu.FDefault)
+		parts[best].Requests = append(parts[best].Requests, r)
+	}
+	return parts
+}
+
+// ViolationRate returns the fraction of all requests that missed deadlines.
+func (cr *ClusterResult) ViolationRate() float64 {
+	if cr.Total == 0 {
+		return 0
+	}
+	return float64(cr.Violations) / float64(cr.Total)
+}
+
+// TailLatencyMs returns the p-th percentile latency across all cores.
+func (cr *ClusterResult) TailLatencyMs(p float64) float64 {
+	if len(cr.Latencies) == 0 {
+		return 0
+	}
+	return stats.PercentileSorted(cr.Latencies, p)
+}
+
+// SocketPowerW sums uncore power and every simulated core's average power;
+// if fewer cores were simulated than the model's socket has, the remaining
+// cores are charged as idle at the lowest frequency.
+func (cr *ClusterResult) SocketPowerW(m *cpu.PowerModel) float64 {
+	p := m.UncoreW
+	for _, res := range cr.PerCore {
+		p += res.AvgCorePowW
+	}
+	for i := len(cr.PerCore); i < m.Cores; i++ {
+		p += m.CoreW(cpu.FMin, false)
+	}
+	return p
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gemini/internal/cpu"
+)
+
+func clusterWorkload(n int, gapMs, serviceMs float64, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	wl := &Workload{BudgetMs: 40}
+	at := 0.0
+	for i := 0; i < n; i++ {
+		at += rng.ExpFloat64() * gapMs
+		w := cpu.Work(serviceMs * float64(cpu.FDefault) * (0.5 + rng.Float64()))
+		wl.Requests = append(wl.Requests, &Request{
+			ID: i, BaseWork: w, WorkTotal: w,
+			ArrivalMs: at, DeadlineMs: at + 40,
+		})
+	}
+	wl.DurationMs = at + 100
+	return wl
+}
+
+func TestDispatchPartitionsAll(t *testing.T) {
+	wl := clusterWorkload(200, 5, 8, 1)
+	parts := Dispatch(wl, 4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Requests)
+		// Arrival order must be preserved within each core.
+		for i := 1; i < len(p.Requests); i++ {
+			if p.Requests[i].ArrivalMs < p.Requests[i-1].ArrivalMs {
+				t.Fatal("per-core arrivals out of order")
+			}
+		}
+		if p.BudgetMs != 40 || p.DurationMs != wl.DurationMs {
+			t.Fatal("partition metadata lost")
+		}
+	}
+	if total != 200 {
+		t.Fatalf("dispatched %d of 200", total)
+	}
+}
+
+func TestDispatchBalances(t *testing.T) {
+	wl := clusterWorkload(400, 2, 8, 2)
+	parts := Dispatch(wl, 4)
+	for c, p := range parts {
+		if len(p.Requests) < 50 || len(p.Requests) > 150 {
+			t.Errorf("core %d got %d of 400 requests — badly balanced", c, len(p.Requests))
+		}
+	}
+}
+
+func TestRunClusterRelievesOverload(t *testing.T) {
+	// 8 ms mean service at 2 ms mean gap: a single core is hopelessly
+	// overloaded; four cores handle it.
+	wl1 := clusterWorkload(300, 2, 8, 3)
+	single := Run(DefaultConfig(), wl1, &fixedPolicy{f: cpu.FDefault})
+	wl2 := clusterWorkload(300, 2, 8, 3)
+	cluster := RunCluster(DefaultConfig(), wl2, 4, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+
+	if cluster.Total != 300 || cluster.Completed != 300 {
+		t.Fatalf("cluster completed %d of %d", cluster.Completed, cluster.Total)
+	}
+	if cluster.ViolationRate() >= single.ViolationRate() {
+		t.Errorf("cluster violation rate %v not below single-core %v",
+			cluster.ViolationRate(), single.ViolationRate())
+	}
+	if cluster.TailLatencyMs(95) >= single.TailLatencyMs(95) {
+		t.Errorf("cluster tail %v not below single %v",
+			cluster.TailLatencyMs(95), single.TailLatencyMs(95))
+	}
+}
+
+func TestClusterSocketPower(t *testing.T) {
+	wl := clusterWorkload(100, 10, 5, 4)
+	m := cpu.DefaultPowerModel()
+	cluster := RunCluster(DefaultConfig(), wl, 4, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+	p := cluster.SocketPowerW(m)
+	// 4 simulated + 8 idle-floor cores + uncore: must be a sane wattage.
+	if p < m.UncoreW || p > 60 {
+		t.Errorf("socket power = %v", p)
+	}
+	// Energy must equal the sum of per-core energies.
+	sum := 0.0
+	for _, r := range cluster.PerCore {
+		sum += r.EnergyMJ
+	}
+	if math.Abs(sum-cluster.EnergyMJ) > 1e-9 {
+		t.Errorf("energy aggregation mismatch")
+	}
+}
+
+func TestClusterSingleCoreDegenerate(t *testing.T) {
+	wl := clusterWorkload(50, 20, 5, 5)
+	cluster := RunCluster(DefaultConfig(), wl, 0, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+	if len(cluster.PerCore) != 1 {
+		t.Fatalf("cores = %d, want clamp to 1", len(cluster.PerCore))
+	}
+	if cluster.Total != 50 {
+		t.Errorf("total = %d", cluster.Total)
+	}
+}
+
+func TestClusterEmptyWorkload(t *testing.T) {
+	wl := &Workload{BudgetMs: 40, DurationMs: 100}
+	cluster := RunCluster(DefaultConfig(), wl, 3, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+	if cluster.ViolationRate() != 0 || cluster.TailLatencyMs(95) != 0 {
+		t.Errorf("empty cluster metrics: %+v", cluster)
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"gemini/internal/cpu"
+	"gemini/internal/stats"
+)
+
+// Result collects the metrics of one simulation run.
+type Result struct {
+	Policy string
+
+	Total      int
+	Completed  int
+	Dropped    int
+	Violations int // late completions (drops are counted separately: the
+	// aggregator ignores stragglers, so the paper treats drops as harmless
+	// to quality, §III-A)
+
+	// Latencies of completed requests, ms, sorted ascending after the run
+	// (populated when Config.RecordLatencies is set).
+	Latencies []float64
+
+	// Core-level energy metrics.
+	EnergyMJ    float64
+	AvgCorePowW float64
+	Utilization float64
+	Transitions int
+	DurationMs  float64
+
+	// Optional power-vs-time series (core watts per bucket).
+	PowerSeriesW     []float64
+	PowerSeriesResMs float64
+
+	// FreqTrace is the executed frequency plan (when
+	// Config.RecordFreqTrace is set): piecewise-constant segments in time
+	// order, adjacent segments differing in frequency or activity.
+	FreqTrace []FreqSegment
+
+	record bool
+}
+
+func newResult(policy string, wl *Workload) *Result {
+	return &Result{Policy: policy, Total: len(wl.Requests), record: true}
+}
+
+func (r *Result) recordCompletion(req *Request) {
+	r.Completed++
+	if req.Violated() {
+		r.Violations++
+	}
+	if r.record {
+		r.Latencies = append(r.Latencies, req.LatencyMs())
+	}
+}
+
+func (r *Result) recordDrop(req *Request) {
+	r.Dropped++
+}
+
+func (r *Result) seal(acc *cpu.EnergyAccumulator, transitions int, durationMs float64) {
+	r.EnergyMJ = acc.EnergyMJ()
+	r.AvgCorePowW = acc.AvgPowerW()
+	r.Utilization = acc.Utilization()
+	r.Transitions = transitions
+	r.DurationMs = durationMs
+}
+
+// TailLatencyMs returns the p-th percentile completion latency (0 if none).
+func (r *Result) TailLatencyMs(p float64) float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	return stats.PercentileSorted(r.Latencies, p)
+}
+
+// MeanLatencyMs returns the mean completion latency.
+func (r *Result) MeanLatencyMs() float64 {
+	m, err := stats.Mean(r.Latencies)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// ViolationRate returns the fraction of all requests that completed after
+// their deadline. Dropped requests are excluded — see Dropped/DropRate.
+func (r *Result) ViolationRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Violations) / float64(r.Total)
+}
+
+// DropRate returns the fraction of all requests that were dropped.
+func (r *Result) DropRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Total)
+}
+
+// SocketPowerW extrapolates the measured single-ISN core power to the
+// paper's 12-ISN socket: uncore + Cores × core average. The paper's 12 ISNs
+// receive the same query stream, so a single core is an unbiased sample.
+func (r *Result) SocketPowerW(m *cpu.PowerModel) float64 {
+	return m.UncoreW + float64(m.Cores)*r.AvgCorePowW
+}
+
+// SocketSeriesW converts the core power series to socket power.
+func (r *Result) SocketSeriesW(m *cpu.PowerModel) []float64 {
+	out := make([]float64, len(r.PowerSeriesW))
+	for i, p := range r.PowerSeriesW {
+		out[i] = m.UncoreW + float64(m.Cores)*p
+	}
+	return out
+}
+
+// PowerSavingVs returns the fractional socket-power saving of r relative to
+// the given baseline result.
+func (r *Result) PowerSavingVs(base *Result, m *cpu.PowerModel) float64 {
+	pb := base.SocketPowerW(m)
+	if pb == 0 {
+		return 0
+	}
+	return 1 - r.SocketPowerW(m)/pb
+}
+
+// FreqSegment is one piecewise-constant stretch of the executed plan.
+type FreqSegment struct {
+	StartMs, EndMs float64
+	Freq           cpu.Freq
+	Busy           bool
+}
+
+// DurationMs returns the segment length.
+func (f FreqSegment) DurationMs() float64 { return f.EndMs - f.StartMs }

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"gemini/internal/cpu"
+)
+
+// Policy is the DVFS control surface: the simulator invokes these callbacks
+// and the policy responds by calling the Sim's control methods (SetFreq,
+// PlanFreqChange, Drop, SetTimer).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init is called once at time zero, before any arrival.
+	Init(s *Sim)
+	// OnArrival fires after the request has been enqueued (and, if the
+	// server was idle, before OnStart for the same request).
+	OnArrival(s *Sim, r *Request)
+	// OnStart fires when a request begins executing at the head of the
+	// queue.
+	OnStart(s *Sim, r *Request)
+	// OnDeparture fires after a request completes and has been dequeued.
+	OnDeparture(s *Sim, r *Request)
+	// OnTimer fires for timers the policy registered via SetTimer.
+	OnTimer(s *Sim, tag int64)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Ladder  *cpu.Ladder
+	Power   *cpu.PowerModel
+	TdvfsMs float64
+	// StartFreq is the core's frequency at time zero (FDefault if zero).
+	StartFreq cpu.Freq
+	// PredictOverheadMs, when positive, stalls the core on every arrival to
+	// model on-core predictor inference (paper: 79 µs, §IV-B).
+	PredictOverheadMs float64
+	// PowerSeriesResMs, when positive, records a power-vs-time series at
+	// this resolution (Fig. 12 timelines).
+	PowerSeriesResMs float64
+	// RecordFreqTrace keeps every (time, frequency, busy) segment — the
+	// executed frequency plan, for Fig. 2/4/5-style timelines and replay
+	// verification.
+	RecordFreqTrace bool
+	// RecordLatencies keeps every request latency (needed for CDFs).
+	RecordLatencies bool
+}
+
+// DefaultConfig returns the standard testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Ladder:          cpu.DefaultLadder(),
+		Power:           cpu.DefaultPowerModel(),
+		TdvfsMs:         cpu.TdvfsMs,
+		StartFreq:       cpu.FDefault,
+		RecordLatencies: true,
+	}
+}
+
+type plannedChange struct {
+	at   float64
+	freq cpu.Freq
+}
+
+type timerEvent struct {
+	at  float64
+	tag int64
+}
+
+// Sim is the event-driven ISN simulator. Policies receive it in callbacks
+// and use its control methods; after Run it is discarded.
+type Sim struct {
+	cfg Config
+	pol Policy
+	wl  *Workload
+
+	now        float64
+	freq       cpu.Freq
+	stallUntil float64
+
+	queue   []*Request // queue[0] is executing once Started
+	nextArr int        // cursor into wl.Requests
+
+	planned []plannedChange
+	timers  []timerEvent
+
+	acc         *cpu.EnergyAccumulator
+	transitions int
+
+	// Sleep-state extension: while asleep an idle core draws sleepPowerW
+	// instead of its C0 idle power, and the next arrival pays sleepWakeMs.
+	sleeping    bool
+	sleepPowerW float64
+	sleepWakeMs float64
+
+	// Power series bookkeeping.
+	seriesRes float64
+	series    []float64 // energy (mJ) per bucket, converted to W at the end
+
+	freqTrace []FreqSegment
+
+	res *Result
+}
+
+// Run simulates the workload under the policy and returns the metrics.
+func Run(cfg Config, wl *Workload, pol Policy) *Result {
+	if cfg.Ladder == nil {
+		cfg.Ladder = cpu.DefaultLadder()
+	}
+	if cfg.Power == nil {
+		cfg.Power = cpu.DefaultPowerModel()
+	}
+	if cfg.StartFreq == 0 {
+		cfg.StartFreq = cpu.FDefault
+	}
+	s := &Sim{
+		cfg:       cfg,
+		pol:       pol,
+		wl:        wl,
+		freq:      cfg.StartFreq,
+		acc:       cpu.NewEnergyAccumulator(cfg.Power),
+		seriesRes: cfg.PowerSeriesResMs,
+		res:       newResult(pol.Name(), wl),
+	}
+	if s.seriesRes > 0 {
+		n := int(math.Ceil(wl.DurationMs/s.seriesRes)) + 1
+		s.series = make([]float64, n)
+	}
+	pol.Init(s)
+	s.loop()
+	s.finish()
+	return s.res
+}
+
+// --- control surface used by policies -----------------------------------
+
+// Now returns the current simulation time in ms.
+func (s *Sim) Now() float64 { return s.now }
+
+// Freq returns the core's current frequency.
+func (s *Sim) Freq() cpu.Freq { return s.freq }
+
+// Ladder returns the selectable frequency ladder.
+func (s *Sim) Ladder() *cpu.Ladder { return s.cfg.Ladder }
+
+// TdvfsMs returns the configured frequency-transition stall.
+func (s *Sim) TdvfsMs() float64 { return s.cfg.TdvfsMs }
+
+// BudgetMs returns the workload's latency budget.
+func (s *Sim) BudgetMs() float64 { return s.wl.BudgetMs }
+
+// Queue returns the live queue; index 0 is the executing request. Callers
+// must not mutate it.
+func (s *Sim) Queue() []*Request { return s.queue }
+
+// SetFreq switches the core to f immediately; a change away from the
+// current frequency stalls the core for TdvfsMs.
+func (s *Sim) SetFreq(f cpu.Freq) {
+	if f == s.freq {
+		return
+	}
+	s.freq = f
+	s.transitions++
+	until := s.now + s.cfg.TdvfsMs
+	if until > s.stallUntil {
+		s.stallUntil = until
+	}
+}
+
+// PlanFreqChange schedules a frequency switch at the given absolute time.
+// Past times apply on the next event dispatch.
+func (s *Sim) PlanFreqChange(atMs float64, f cpu.Freq) {
+	s.planned = append(s.planned, plannedChange{at: atMs, freq: f})
+}
+
+// ClearPlannedChanges cancels all scheduled frequency switches.
+func (s *Sim) ClearPlannedChanges() { s.planned = s.planned[:0] }
+
+// SetTimer schedules an OnTimer callback at the given absolute time.
+func (s *Sim) SetTimer(atMs float64, tag int64) {
+	s.timers = append(s.timers, timerEvent{at: atMs, tag: tag})
+}
+
+// Stall blocks the core for the given duration (prediction overhead).
+func (s *Sim) Stall(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	until := s.now + ms
+	if until > s.stallUntil {
+		s.stallUntil = until
+	}
+}
+
+// Sleep puts an idle core into a C-state drawing powerW; the next arrival
+// pays wakeMs of stall before any processing (sleep-state extension, §I).
+// Ignored while the queue is non-empty.
+func (s *Sim) Sleep(powerW, wakeMs float64) {
+	if len(s.queue) > 0 {
+		return
+	}
+	s.sleeping = true
+	s.sleepPowerW = powerW
+	s.sleepWakeMs = wakeMs
+}
+
+// Drop removes a queued (or executing) request without completing it. The
+// paper drops requests that cannot meet their deadline even at the maximum
+// frequency (§III-A); the aggregator would discard their late responses
+// anyway.
+func (s *Sim) Drop(r *Request) {
+	for i, q := range s.queue {
+		if q == r {
+			r.Dropped = true
+			r.FinishMs = s.now
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.res.recordDrop(r)
+			if i == 0 && len(s.queue) > 0 && !s.queue[0].Started {
+				s.startHead()
+			}
+			return
+		}
+	}
+}
+
+// --- engine ---------------------------------------------------------------
+
+const (
+	evCompletion = iota
+	evPlanned
+	evArrival
+	evTimer
+	evNone
+)
+
+func (s *Sim) loop() {
+	for {
+		kind, at, idx := s.nextEvent()
+		if kind == evNone {
+			return
+		}
+		s.advanceTo(at)
+		switch kind {
+		case evCompletion:
+			s.completeHead()
+		case evPlanned:
+			pc := s.planned[idx]
+			s.planned = append(s.planned[:idx], s.planned[idx+1:]...)
+			s.SetFreq(pc.freq)
+		case evArrival:
+			r := s.wl.Requests[s.nextArr]
+			s.nextArr++
+			s.arrive(r)
+		case evTimer:
+			tm := s.timers[idx]
+			s.timers = append(s.timers[:idx], s.timers[idx+1:]...)
+			s.pol.OnTimer(s, tm.tag)
+		}
+	}
+}
+
+// nextEvent picks the earliest pending event; ties break by the priority
+// completion < planned < arrival < timer so departures free the server
+// before a simultaneous arrival is observed.
+func (s *Sim) nextEvent() (kind int, at float64, idx int) {
+	kind, at, idx = evNone, math.Inf(1), -1
+
+	if c := s.completionTime(); c < at {
+		kind, at = evCompletion, c
+	}
+	for i, pc := range s.planned {
+		t := math.Max(pc.at, s.now)
+		if t < at || (t == at && kind > evPlanned) {
+			kind, at, idx = evPlanned, t, i
+		}
+	}
+	if s.nextArr < len(s.wl.Requests) {
+		t := s.wl.Requests[s.nextArr].ArrivalMs
+		if t < at || (t == at && kind > evArrival) {
+			kind, at, idx = evArrival, t, -1
+		}
+	}
+	for i, tm := range s.timers {
+		t := math.Max(tm.at, s.now)
+		if t < at || (t == at && kind > evTimer) {
+			kind, at, idx = evTimer, t, i
+		}
+	}
+	// Timers beyond the workload horizon with nothing left to do would spin
+	// the loop forever in policies that always re-arm (Pegasus): stop once
+	// all requests have been served and the horizon is passed.
+	if kind == evTimer && s.nextArr >= len(s.wl.Requests) && len(s.queue) == 0 && at > s.wl.DurationMs {
+		return evNone, 0, -1
+	}
+	return kind, at, idx
+}
+
+// completionTime returns when the executing request will finish under the
+// current frequency and stall state (+Inf if the server is idle).
+func (s *Sim) completionTime() float64 {
+	if len(s.queue) == 0 || !s.queue[0].Started {
+		return math.Inf(1)
+	}
+	head := s.queue[0]
+	t0 := math.Max(s.now, s.stallUntil)
+	return t0 + cpu.TimeFor(head.Remaining(), s.freq)
+}
+
+// advanceTo moves simulated time forward, accruing head-request progress and
+// core energy across the stall boundary.
+func (s *Sim) advanceTo(t float64) {
+	if t <= s.now {
+		s.now = math.Max(s.now, t)
+		return
+	}
+	busy := len(s.queue) > 0
+	// Segment 1: stalled (no progress).
+	segEnd := math.Min(t, math.Max(s.now, s.stallUntil))
+	if segEnd > s.now {
+		s.accrue(segEnd-s.now, busy)
+		s.now = segEnd
+	}
+	// Segment 2: executing.
+	if t > s.now {
+		dt := t - s.now
+		if busy && s.queue[0].Started {
+			s.queue[0].WorkDone += cpu.WorkFor(dt, s.freq)
+		}
+		s.accrue(dt, busy)
+		s.now = t
+	}
+}
+
+// accrue charges dt of energy at the current frequency/activity, splitting
+// across power-series buckets when enabled.
+func (s *Sim) accrue(dt float64, busy bool) {
+	if s.cfg.RecordFreqTrace && dt > 0 {
+		n := len(s.freqTrace)
+		if n > 0 && s.freqTrace[n-1].Freq == s.freq && s.freqTrace[n-1].Busy == busy && s.freqTrace[n-1].EndMs == s.now {
+			s.freqTrace[n-1].EndMs = s.now + dt
+		} else {
+			s.freqTrace = append(s.freqTrace, FreqSegment{StartMs: s.now, EndMs: s.now + dt, Freq: s.freq, Busy: busy})
+		}
+	}
+	p := s.cfg.Power.CoreW(s.freq, busy)
+	if !busy && s.sleeping {
+		p = s.sleepPowerW
+	}
+	s.acc.AccumulatePower(dt, p, busy)
+	if s.series == nil || dt <= 0 {
+		return
+	}
+	t0, t1 := s.now, s.now+dt
+	for t0 < t1 {
+		b := int(t0 / s.seriesRes)
+		bEnd := float64(b+1) * s.seriesRes
+		seg := math.Min(t1, bEnd) - t0
+		if b >= 0 && b < len(s.series) {
+			s.series[b] += p * seg
+		}
+		t0 += seg
+	}
+}
+
+func (s *Sim) arrive(r *Request) {
+	s.queue = append(s.queue, r)
+	if s.sleeping {
+		s.Stall(s.sleepWakeMs)
+		s.sleeping = false
+	}
+	s.Stall(s.cfg.PredictOverheadMs)
+	s.pol.OnArrival(s, r)
+	// OnArrival may have dropped the request.
+	if len(s.queue) > 0 && s.queue[0] == r && !r.Started && !r.Dropped {
+		s.startHead()
+	}
+}
+
+func (s *Sim) startHead() {
+	head := s.queue[0]
+	head.Started = true
+	head.StartMs = s.now
+	s.pol.OnStart(s, head)
+}
+
+func (s *Sim) completeHead() {
+	head := s.queue[0]
+	head.Done = true
+	head.FinishMs = s.now
+	// Clamp the float drift: the request is exactly finished.
+	head.WorkDone = head.WorkTotal
+	s.queue = s.queue[1:]
+	s.res.recordCompletion(head)
+	s.pol.OnDeparture(s, head)
+	if len(s.queue) > 0 && !s.queue[0].Started {
+		s.startHead()
+	}
+}
+
+// finish accrues trailing idle time up to the workload horizon and seals the
+// metrics.
+func (s *Sim) finish() {
+	if s.now < s.wl.DurationMs {
+		s.advanceTo(s.wl.DurationMs)
+	}
+	s.res.seal(s.acc, s.transitions, s.wl.DurationMs)
+	s.res.FreqTrace = s.freqTrace
+	if s.series != nil {
+		// Convert per-bucket energy to average watts.
+		n := int(math.Ceil(s.wl.DurationMs / s.seriesRes))
+		if n > len(s.series) {
+			n = len(s.series)
+		}
+		watts := make([]float64, n)
+		for i := 0; i < n; i++ {
+			watts[i] = s.series[i] / s.seriesRes
+		}
+		s.res.PowerSeriesW = watts
+		s.res.PowerSeriesResMs = s.seriesRes
+	}
+	sort.Float64s(s.res.Latencies)
+}

@@ -1,0 +1,244 @@
+// Package stats provides the small statistical toolkit used throughout the
+// Gemini reproduction: percentiles, empirical CDFs, histograms, online
+// moments, sliding-window averages, simple linear regression, and reservoir
+// sampling.
+//
+// All routines are deterministic and allocation-conscious; they are used both
+// by the simulator's metrics pipeline and by the experiment harness that
+// regenerates the paper's tables and figures.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by routines that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of values using
+// linear interpolation between closest ranks. The input slice is not
+// modified.
+func Percentile(values []float64, p float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// PercentileSorted is like Percentile but assumes values are already sorted
+// ascending and avoids the copy. It panics on an empty slice.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: PercentileSorted on empty slice")
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of values.
+func Mean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values)), nil
+}
+
+// GeometricMean returns the geometric mean of values. Non-positive values
+// are clamped to a tiny epsilon so that score distributions containing zeros
+// remain well-defined (matching the feature extraction in the paper's
+// Table II, where scores are strictly positive anyway).
+func GeometricMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	const eps = 1e-12
+	sumLog := 0.0
+	for _, v := range values {
+		if v < eps {
+			v = eps
+		}
+		sumLog += math.Log(v)
+	}
+	return math.Exp(sumLog / float64(len(values))), nil
+}
+
+// HarmonicMean returns the harmonic mean of values, clamping non-positive
+// values to a tiny epsilon as in GeometricMean.
+func HarmonicMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	const eps = 1e-12
+	sumInv := 0.0
+	for _, v := range values {
+		if v < eps {
+			v = eps
+		}
+		sumInv += 1 / v
+	}
+	return float64(len(values)) / sumInv, nil
+}
+
+// Variance returns the population variance of values.
+func Variance(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	mean, _ := Mean(values)
+	sum := 0.0
+	for _, v := range values {
+		d := v - mean
+		sum += d * d
+	}
+	return sum / float64(len(values)), nil
+}
+
+// Max returns the maximum of values.
+func Max(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// Min returns the minimum of values.
+func Min(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// CDF is an empirical cumulative distribution function built from a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample. The input is copied.
+func NewCDF(values []float64) (*CDF, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x) for the empirical distribution.
+func (c *CDF) At(x float64) float64 {
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the distribution.
+func (c *CDF) Quantile(q float64) float64 {
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Len returns the number of samples behind the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Points renders the CDF as n evenly spaced (x, P(X<=x)) points across the
+// sample range, convenient for printing figure series.
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = [2]float64{x, c.At(x)}
+	}
+	return pts
+}
+
+// Histogram counts samples into fixed-width bins over [Lo, Hi). Values
+// outside the range are clamped into the edge bins so that counts always sum
+// to the number of observations.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
