@@ -8,6 +8,7 @@ package gemini_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"gemini/internal/harness"
 )
@@ -30,13 +31,14 @@ func benchSet(b *testing.B) *harness.ExperimentSet {
 	return harness.NewExperimentSet(benchPlatform(b), 0.05)
 }
 
-// runExperiment drives one named experiment b.N times.
+// runExperiment drives one named experiment b.N times. The platform is built
+// outside the timed region; each iteration gets a fresh experiment set so
+// cached grids do not leak between iterations.
 func runExperiment(b *testing.B, name string) {
 	p := benchPlatform(b)
-	_ = p
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		set := harness.NewExperimentSet(benchPlatform(b), 0.05)
+		set := harness.NewExperimentSet(p, 0.05)
 		if _, err := set.Run(name); err != nil {
 			b.Fatal(err)
 		}
@@ -223,6 +225,39 @@ func BenchmarkAblationSleep(b *testing.B) {
 		if _, data := p.AblationSleep(20, 10_000); len(data.Cells) < 3 {
 			b.Fatal("missing ablation cells")
 		}
+	}
+}
+
+// sweepArgs are shared by the serial/parallel grid-runner benchmark pair.
+var sweepRPS = []float64{20, 40, 60, 80, 100}
+
+// BenchmarkSweepSerial runs the Fig. 10/11 grid on one worker — the
+// reference cost the parallel engine is measured against.
+func BenchmarkSweepSerial(b *testing.B) {
+	p := benchPlatform(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RPSSweepWorkers(sweepRPS, 10_000, 1)
+	}
+}
+
+// BenchmarkSweepParallel runs the same grid on all available workers and
+// reports the speedup over a serial reference run as a custom metric.
+func BenchmarkSweepParallel(b *testing.B) {
+	p := benchPlatform(b)
+	workers := harness.DefaultWorkers()
+	serialStart := time.Now()
+	p.RPSSweepWorkers(sweepRPS, 10_000, 1)
+	serial := time.Since(serialStart)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.RPSSweepWorkers(sweepRPS, 10_000, workers)
+	}
+	perIter := time.Since(start) / time.Duration(b.N)
+	b.ReportMetric(float64(workers), "workers")
+	if perIter > 0 {
+		b.ReportMetric(float64(serial)/float64(perIter), "speedup-x")
 	}
 }
 

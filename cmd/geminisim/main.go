@@ -24,6 +24,7 @@ func main() {
 		small    = flag.Bool("small", false, "use the fast small-scale platform")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		durScale = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
+		workers  = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids (1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,8 @@ func main() {
 		}
 	}
 	set := harness.NewExperimentSet(p, scale)
+	set.Workers = *workers
+	fmt.Fprintf(os.Stderr, "experiment grids run on %d worker(s)\n", *workers)
 
 	names := []string{*exp}
 	if *exp == "all" {

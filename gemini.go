@@ -81,7 +81,9 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("gemini: zero Config; use gemini.Default() or gemini.Small()")
 	}
 	p := harness.NewPlatform(cfg.opts)
-	return &System{p: p, set: harness.NewExperimentSet(p, cfg.durScale)}, nil
+	set := harness.NewExperimentSet(p, cfg.durScale)
+	set.Workers = harness.DefaultWorkers()
+	return &System{p: p, set: set}, nil
 }
 
 // SearchResult is one scored document of a query evaluation.

@@ -5,8 +5,6 @@ import (
 
 	"gemini/internal/policy"
 	"gemini/internal/predictor"
-	"gemini/internal/sim"
-	"gemini/internal/trace"
 )
 
 // AblationCell is one ablation measurement.
@@ -25,54 +23,35 @@ type AblationData struct {
 	Cells []AblationCell
 }
 
-// geminiVariant builds a Gemini policy with ablation knobs applied.
+// geminiVariant builds a Gemini policy with ablation knobs applied. The
+// variants keep the platform's shared NN predictors, so they all consume the
+// workload's precomputed prediction table.
 func (p *Platform) geminiVariant(mod func(*policy.Gemini)) *policy.Gemini {
 	g := policy.NewGemini(p.Classifier, p.ErrPred)
 	if mod != nil {
 		mod(g)
 	}
-	return g
-}
-
-// runAblationCell executes one 200 s fixed-RPS run.
-func (p *Platform) runAblationCell(name string, pol sim.Policy, cfg sim.Config, base *sim.Result, rps, durationMs float64) (AblationCell, *sim.Result) {
-	tr := trace.GenFixedRPS(rps*p.Opt.ShardFraction, durationMs, p.Opt.Seed+60)
-	wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+61)
-	res := sim.Run(cfg, wl, pol)
-	cell := AblationCell{
-		Variant:      name,
-		SocketPowerW: res.SocketPowerW(p.Power),
-		TailMs:       res.TailLatencyMs(95),
-		ViolationPct: res.ViolationRate() * 100,
-		Transitions:  res.Transitions,
-	}
-	if base != nil {
-		cell.SavingFrac = res.PowerSavingVs(base, p.Power)
-	}
-	return cell, res
+	return p.markCached(g)
 }
 
 // AblationBoost quantifies the second DVFS step: full Gemini vs one-step
 // (no boost) vs no error slack (ZeroError) at a busy fixed load.
 func (p *Platform) AblationBoost(rps, durationMs float64) (*Report, *AblationData) {
-	cfg := p.SimConfig()
-	baseCfg := cfg
-	baseCfg.PredictOverheadMs = 0
-	baseCell, baseRes := p.runAblationCell("Baseline", policy.Baseline{}, baseCfg, nil, rps, durationMs)
+	return p.AblationBoostWorkers(rps, durationMs, 1)
+}
 
-	data := &AblationData{Name: "boost", Cells: []AblationCell{baseCell}}
-	variants := []struct {
-		name string
-		pol  sim.Policy
-	}{
-		{"Gemini (two-step)", p.geminiVariant(nil)},
-		{"Gemini no-boost", p.geminiVariant(func(g *policy.Gemini) { g.DisableBoost = true })},
-		{"Gemini no-slack", policy.NewGemini(p.Classifier, predictor.ZeroError{})},
+// AblationBoostWorkers is AblationBoost with the variant cells fanned across
+// the worker pool.
+func (p *Platform) AblationBoostWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
+	cfg := p.SimConfig()
+	cells := []variantCell{
+		p.baselineCell("Baseline"),
+		{name: "Gemini (two-step)", pol: p.geminiVariant(nil), cfg: cfg, baseIdx: 0},
+		{name: "Gemini no-boost", pol: p.geminiVariant(func(g *policy.Gemini) { g.DisableBoost = true }), cfg: cfg, baseIdx: 0},
+		{name: "Gemini no-slack", pol: p.markCached(policy.NewGemini(p.Classifier, predictor.ZeroError{})), cfg: cfg, baseIdx: 0},
 	}
-	for _, v := range variants {
-		cell, _ := p.runAblationCell(v.name, v.pol, cfg, baseRes, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
-	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "boost"
 	r := ablationReport("Ablation — value of the boost step and the error slack", data)
 	r.Note("no-boost saves slightly more power but loses the deadline guarantee; no-slack boosts too late")
 	return r, data
@@ -81,21 +60,20 @@ func (p *Platform) AblationBoost(rps, durationMs float64) (*Report, *AblationDat
 // AblationGrouping quantifies the §III-C grouping rule: shared group
 // frequency vs per-request re-planning.
 func (p *Platform) AblationGrouping(rps, durationMs float64) (*Report, *AblationData) {
+	return p.AblationGroupingWorkers(rps, durationMs, 1)
+}
+
+// AblationGroupingWorkers is AblationGrouping with the variant cells fanned
+// across the worker pool.
+func (p *Platform) AblationGroupingWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
 	cfg := p.SimConfig()
-	baseCfg := cfg
-	baseCfg.PredictOverheadMs = 0
-	baseCell, baseRes := p.runAblationCell("Baseline", policy.Baseline{}, baseCfg, nil, rps, durationMs)
-	data := &AblationData{Name: "grouping", Cells: []AblationCell{baseCell}}
-	for _, v := range []struct {
-		name string
-		pol  sim.Policy
-	}{
-		{"Gemini (grouped)", p.geminiVariant(nil)},
-		{"Gemini per-request", p.geminiVariant(func(g *policy.Gemini) { g.NoGrouping = true })},
-	} {
-		cell, _ := p.runAblationCell(v.name, v.pol, cfg, baseRes, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
+	cells := []variantCell{
+		p.baselineCell("Baseline"),
+		{name: "Gemini (grouped)", pol: p.geminiVariant(nil), cfg: cfg, baseIdx: 0},
+		{name: "Gemini per-request", pol: p.geminiVariant(func(g *policy.Gemini) { g.NoGrouping = true }), cfg: cfg, baseIdx: 0},
 	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "grouping"
 	r := ablationReport("Ablation — group frequency vs per-request re-planning", data)
 	r.Note("grouping trades a few re-plans for fewer frequency transitions (Tdvfs stalls)")
 	return r, data
@@ -103,33 +81,49 @@ func (p *Platform) AblationGrouping(rps, durationMs float64) (*Report, *Ablation
 
 // AblationTdvfs sweeps the transition-stall cost.
 func (p *Platform) AblationTdvfs(rps, durationMs float64) (*Report, *AblationData) {
-	data := &AblationData{Name: "tdvfs"}
+	return p.AblationTdvfsWorkers(rps, durationMs, 1)
+}
+
+// AblationTdvfsWorkers is AblationTdvfs with the sweep cells fanned across
+// the worker pool.
+func (p *Platform) AblationTdvfsWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
+	var cells []variantCell
 	for _, td := range []float64{0, 0.05, 0.2, 0.5} {
 		cfg := p.SimConfig()
 		cfg.TdvfsMs = td
-		g := p.geminiVariant(nil)
-		g.Params.TdvfsMs = td
-		cell, _ := p.runAblationCell(fmt.Sprintf("Tdvfs=%.2fms", td), g, cfg, nil, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
+		g := p.geminiVariant(func(g *policy.Gemini) { g.Params.TdvfsMs = td })
+		cells = append(cells, variantCell{
+			name: fmt.Sprintf("Tdvfs=%.2fms", td), pol: g, cfg: cfg, baseIdx: -1,
+		})
 	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "tdvfs"
 	r := ablationReport("Ablation — Tdvfs transition-stall sensitivity", data)
 	return r, data
 }
 
 // AblationBudget sweeps the tail latency budget.
 func (p *Platform) AblationBudget(rps, durationMs float64) (*Report, *AblationData) {
-	data := &AblationData{Name: "budget"}
-	saved := p.Opt.BudgetMs
-	defer func() { p.Opt.BudgetMs = saved }()
+	return p.AblationBudgetWorkers(rps, durationMs, 1)
+}
+
+// AblationBudgetWorkers is AblationBudget with the (budget, policy) cells
+// fanned across the worker pool. Each budget point carries its own hidden
+// baseline run as the saving reference, exactly like the serial loop did.
+func (p *Platform) AblationBudgetWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
+	cfg := p.SimConfig()
+	var cells []variantCell
 	for _, budget := range []float64{25, 30, 40, 50, 60} {
-		p.Opt.BudgetMs = budget
-		cfg := p.SimConfig()
-		baseCfg := cfg
-		baseCfg.PredictOverheadMs = 0
-		_, baseRes := p.runAblationCell("base", policy.Baseline{}, baseCfg, nil, rps, durationMs)
-		cell, _ := p.runAblationCell(fmt.Sprintf("budget=%.0fms", budget), p.geminiVariant(nil), cfg, baseRes, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
+		base := p.baselineCell("base")
+		base.budgetMs = budget
+		base.hidden = true
+		cells = append(cells, base, variantCell{
+			name: fmt.Sprintf("budget=%.0fms", budget), pol: p.geminiVariant(nil),
+			cfg: cfg, budgetMs: budget, baseIdx: len(cells),
+		})
 	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "budget"
 	r := ablationReport("Ablation — latency budget sensitivity (Gemini saving vs baseline)", data)
 	r.Note("looser budgets leave more slack to harvest; tight budgets force near-max frequencies")
 	return r, data
@@ -138,21 +132,20 @@ func (p *Platform) AblationBudget(rps, durationMs float64) (*Report, *AblationDa
 // AblationSleep compares Gemini with and without the C-state extension at a
 // light load where idle time dominates.
 func (p *Platform) AblationSleep(rps, durationMs float64) (*Report, *AblationData) {
+	return p.AblationSleepWorkers(rps, durationMs, 1)
+}
+
+// AblationSleepWorkers is AblationSleep with the variant cells fanned across
+// the worker pool.
+func (p *Platform) AblationSleepWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
 	cfg := p.SimConfig()
-	baseCfg := cfg
-	baseCfg.PredictOverheadMs = 0
-	baseCell, baseRes := p.runAblationCell("Baseline", policy.Baseline{}, baseCfg, nil, rps, durationMs)
-	data := &AblationData{Name: "sleep", Cells: []AblationCell{baseCell}}
-	for _, v := range []struct {
-		name string
-		pol  sim.Policy
-	}{
-		{"Gemini", p.geminiVariant(nil)},
-		{"Gemini+Sleep", policy.NewSleepWrapper(p.geminiVariant(nil))},
-	} {
-		cell, _ := p.runAblationCell(v.name, v.pol, cfg, baseRes, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
+	cells := []variantCell{
+		p.baselineCell("Baseline"),
+		{name: "Gemini", pol: p.geminiVariant(nil), cfg: cfg, baseIdx: 0},
+		{name: "Gemini+Sleep", pol: policy.NewSleepWrapper(p.geminiVariant(nil)), cfg: cfg, baseIdx: 0},
 	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "sleep"
 	r := ablationReport("Extension — sleep states on top of Gemini (light load)", data)
 	r.Note("§I: the two-step technique composes with C-states; idle residency dominates at light load")
 	return r, data
@@ -174,20 +167,23 @@ func ablationReport(title string, data *AblationData) *Report {
 // cpufreq governors and the remaining extension baselines at a fixed load —
 // context for Table I beyond the paper's three compared schemes.
 func (p *Platform) ExtensionGovernors(rps, durationMs float64) (*Report, *AblationData) {
+	return p.ExtensionGovernorsWorkers(rps, durationMs, 1)
+}
+
+// ExtensionGovernorsWorkers is ExtensionGovernors with the policy cells
+// fanned across the worker pool.
+func (p *Platform) ExtensionGovernorsWorkers(rps, durationMs float64, workers int) (*Report, *AblationData) {
 	cfg := p.SimConfig()
-	baseCfg := cfg
-	baseCfg.PredictOverheadMs = 0
-	baseCell, baseRes := p.runAblationCell("Baseline", policy.Baseline{}, baseCfg, nil, rps, durationMs)
-	data := &AblationData{Name: "governors", Cells: []AblationCell{baseCell}}
+	cells := []variantCell{p.baselineCell("Baseline")}
 	for _, name := range []string{"ondemand", "conservative", "EETL", "PACE-oracle", "Gemini"} {
-		pol := p.MustPolicy(name)
 		c := cfg
 		if name != "Gemini" {
 			c.PredictOverheadMs = 0 // only Gemini pays NN inference
 		}
-		cell, _ := p.runAblationCell(name, pol, c, baseRes, rps, durationMs)
-		data.Cells = append(data.Cells, cell)
+		cells = append(cells, variantCell{name: name, pol: p.MustPolicy(name), cfg: c, baseIdx: 0})
 	}
+	data, _ := p.runVariantCells(cells, rps, durationMs, workers)
+	data.Name = "governors"
 	r := ablationReport("Extension — deadline-blind governors vs latency-aware policies", data)
 	r.Note("ondemand/conservative track utilization, not deadlines: similar power, worse tails")
 	return r, data

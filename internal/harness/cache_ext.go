@@ -14,16 +14,17 @@ import (
 // query stream makes hits frequent, so both the baseline and Gemini draw
 // less power — and Gemini's saving persists on the misses.
 func (p *Platform) ExtensionCache(rps, durationMs float64, cacheSize int) (*Report, *AblationData) {
+	return p.ExtensionCacheWorkers(rps, durationMs, cacheSize, 1)
+}
+
+// ExtensionCacheWorkers is ExtensionCache with the four variant cells fanned
+// across the worker pool. Each cell materializes its own workload from the
+// shared seed (the cached cells then rewrite hits), so results are identical
+// for any worker count.
+func (p *Platform) ExtensionCacheWorkers(rps, durationMs float64, cacheSize, workers int) (*Report, *AblationData) {
 	tr := trace.GenFixedRPS(rps*p.Opt.ShardFraction, durationMs, p.Opt.Seed+70)
 
-	data := &AblationData{Name: "cache"}
-	r := &Report{
-		Title:  "Extension — ISN result cache composed with DVFS policies",
-		Header: []string{"Variant", "Power (W)", "Saving", "p95 (ms)", "Violations", "Transitions"},
-	}
-
-	var base *sim.Result
-	for _, variant := range []struct {
+	variants := []struct {
 		name   string
 		policy string
 		cached bool
@@ -32,20 +33,34 @@ func (p *Platform) ExtensionCache(rps, durationMs float64, cacheSize int) (*Repo
 		{"Baseline+cache", "Baseline", true},
 		{"Gemini", "Gemini", false},
 		{"Gemini+cache", "Gemini", true},
-	} {
+	}
+	type cacheSlot struct {
+		res     *sim.Result
+		hitRate float64
+	}
+	slots := make([]cacheSlot, len(variants))
+	gridRun(workers, len(variants), func(i int) {
+		v := variants[i]
 		wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+71)
 		hitRate := 0.0
-		if variant.cached {
+		if v.cached {
 			hitRate = p.applyCache(wl, cacheSize)
 		}
 		cfg := p.SimConfig()
-		if variant.policy == "Baseline" {
+		if v.policy == "Baseline" {
 			cfg.PredictOverheadMs = 0
 		}
-		res := sim.Run(cfg, wl, p.MustPolicy(variant.policy))
-		if base == nil {
-			base = res
-		}
+		slots[i] = cacheSlot{res: sim.Run(cfg, wl, p.MustPolicy(v.policy)), hitRate: hitRate}
+	})
+
+	data := &AblationData{Name: "cache"}
+	r := &Report{
+		Title:  "Extension — ISN result cache composed with DVFS policies",
+		Header: []string{"Variant", "Power (W)", "Saving", "p95 (ms)", "Violations", "Transitions"},
+	}
+	base := slots[0].res
+	for i, variant := range variants {
+		res := slots[i].res
 		cell := AblationCell{
 			Variant:      variant.name,
 			SocketPowerW: res.SocketPowerW(p.Power),
@@ -55,11 +70,10 @@ func (p *Platform) ExtensionCache(rps, durationMs float64, cacheSize int) (*Repo
 			Transitions:  res.Transitions,
 		}
 		data.Cells = append(data.Cells, cell)
-		row := []string{variant.name, f1(cell.SocketPowerW), pct(cell.SavingFrac),
-			f2(cell.TailMs), fmt.Sprintf("%.2f%%", cell.ViolationPct), fmt.Sprintf("%d", cell.Transitions)}
-		r.AddRow(row...)
+		r.AddRow(variant.name, f1(cell.SocketPowerW), pct(cell.SavingFrac),
+			f2(cell.TailMs), fmt.Sprintf("%.2f%%", cell.ViolationPct), fmt.Sprintf("%d", cell.Transitions))
 		if variant.cached {
-			r.Note("%s: cache hit rate %.0f%% (capacity %d, Zipf query stream)", variant.name, hitRate*100, cacheSize)
+			r.Note("%s: cache hit rate %.0f%% (capacity %d, Zipf query stream)", variant.name, slots[i].hitRate*100, cacheSize)
 		}
 	}
 	return r, data
@@ -81,6 +95,13 @@ func (p *Platform) applyCache(wl *sim.Workload, capacity int) float64 {
 			// A hit is trivially predictable: zeroed features make the NN
 			// place it in the smallest service-time bucket.
 			req.Features = search.FeatureVector{}
+			// The precomputed prediction table was built from the original
+			// features; refresh the rewritten request's entry so cached and
+			// live prediction paths stay bit-identical.
+			if wl.Preds != nil {
+				pr := p.predictPair(req.Features)
+				wl.Preds.ServiceMs[req.ID], wl.Preds.ErrMs[req.ID] = pr.svc, pr.err
+			}
 		}
 	}
 	if len(wl.Requests) == 0 {

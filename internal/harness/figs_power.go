@@ -3,9 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"gemini/internal/sim"
 	"gemini/internal/stats"
-	"gemini/internal/trace"
 )
 
 // SweepCell is one (policy, RPS) measurement of the Fig. 10/11 sweep.
@@ -30,40 +28,11 @@ func (d *SweepData) Cell(policy string, i int) SweepCell { return d.Cells[policy
 
 // RPSSweep runs the Fig. 10/11 experiment: each policy at fixed request
 // rates for durationMs of simulated time (the paper holds each RPS for 120 s
-// on the Wikipedia query mix with a 40 ms budget).
+// on the Wikipedia query mix with a 40 ms budget). This is the serial
+// reference path; RPSSweepWorkers fans the same grid across a worker pool
+// and returns identical data.
 func (p *Platform) RPSSweep(rpsList []float64, durationMs float64) *SweepData {
-	if rpsList == nil {
-		rpsList = []float64{20, 40, 60, 80, 100}
-	}
-	data := &SweepData{RPS: rpsList, Cells: map[string][]SweepCell{}}
-	for i, rps := range rpsList {
-		tr := trace.GenFixedRPS(rps*p.Opt.ShardFraction, durationMs, p.Opt.Seed+20+int64(i))
-		var baseline *sim.Result
-		for _, name := range PolicyNames {
-			wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+30+int64(i))
-			cfg := p.SimConfig()
-			if name == "Baseline" {
-				cfg.PredictOverheadMs = 0
-			}
-			res := sim.Run(cfg, wl, p.MustPolicy(name))
-			if name == "Baseline" {
-				baseline = res
-			}
-			cell := SweepCell{
-				Policy:       name,
-				RPS:          rps,
-				SocketPowerW: res.SocketPowerW(p.Power),
-				TailMs:       res.TailLatencyMs(95),
-				ViolationPct: res.ViolationRate() * 100,
-				DropPct:      res.DropRate() * 100,
-			}
-			if baseline != nil {
-				cell.SavingFrac = res.PowerSavingVs(baseline, p.Power)
-			}
-			data.Cells[name] = append(data.Cells[name], cell)
-		}
-	}
-	return data
+	return p.RPSSweepWorkers(rpsList, durationMs, 1)
 }
 
 // Fig10 renders the power and power-saving panels of Fig. 10.
@@ -132,48 +101,11 @@ type TraceData struct {
 func (d *TraceData) Cell(tr, pol string) *TraceCell { return d.Cells[tr][pol] }
 
 // TraceRuns drives the trace-driven experiments behind Figs. 12–14: each
-// policy over each named 1000 s trace at the given mean RPS.
+// policy over each named 1000 s trace at the given mean RPS. This is the
+// serial reference path; TraceRunsWorkers fans the same grid across a worker
+// pool and returns identical data.
 func (p *Platform) TraceRuns(traces, policies []string, avgRPS, durationMs float64) *TraceData {
-	data := &TraceData{Traces: traces, Policies: policies, Cells: map[string]map[string]*TraceCell{}}
-	for ti, trName := range traces {
-		tr := trace.GenEvalTrace(trName, avgRPS*p.Opt.ShardFraction, durationMs, p.Opt.Seed+40+int64(ti))
-		data.Cells[trName] = map[string]*TraceCell{}
-		var baseline *sim.Result
-		// Baseline always runs first for the saving reference.
-		ordered := append([]string{"Baseline"}, policies...)
-		seen := map[string]bool{}
-		for _, name := range ordered {
-			if seen[name] {
-				continue
-			}
-			seen[name] = true
-			wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+50+int64(ti))
-			cfg := p.SimConfig()
-			cfg.PowerSeriesResMs = 10_000 // 10 s buckets for the timeline
-			if name == "Baseline" {
-				cfg.PredictOverheadMs = 0
-			}
-			res := sim.Run(cfg, wl, p.MustPolicy(name))
-			if name == "Baseline" {
-				baseline = res
-			}
-			cell := &TraceCell{
-				Trace:        trName,
-				Policy:       name,
-				SocketPowerW: res.SocketPowerW(p.Power),
-				TailMs:       res.TailLatencyMs(95),
-				ViolationPct: res.ViolationRate() * 100,
-				DropPct:      res.DropRate() * 100,
-				PowerSeriesW: res.SocketSeriesW(p.Power),
-				Latencies:    res.Latencies,
-			}
-			if baseline != nil {
-				cell.SavingFrac = res.PowerSavingVs(baseline, p.Power)
-			}
-			data.Cells[trName][name] = cell
-		}
-	}
-	return data
+	return p.TraceRunsWorkers(traces, policies, avgRPS, durationMs, 1)
 }
 
 // Fig12 renders the trace-driven power timelines and average savings.

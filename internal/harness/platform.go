@@ -92,7 +92,17 @@ type Platform struct {
 	Pool         []sim.PreparedQuery
 	ServiceTimes []float64 // pool base service times at FDefault, ms
 	Power        *cpu.PowerModel
+
+	// predMu guards predMemo, the feature-keyed memo behind the per-workload
+	// prediction tables: each distinct feature vector is pushed through both
+	// NNs exactly once for the platform's lifetime, no matter how many
+	// workloads, policies, or parallel workers ask for it.
+	predMu   sync.RWMutex
+	predMemo map[search.FeatureVector]predPair
 }
+
+// predPair is one memoized (S*, E*) prediction.
+type predPair struct{ svc, err float64 }
 
 // NewPlatform builds the stack: generate the corpus, index it, calibrate the
 // cost model, label the training set, train both NNs, and prepare the query
@@ -177,7 +187,40 @@ func NewPlatform(opt Options) *Platform {
 	for i, pq := range p.Pool {
 		p.ServiceTimes[i] = cpu.TimeFor(pq.BaseWork, cpu.FDefault)
 	}
+	p.predMemo = make(map[search.FeatureVector]predPair, len(p.Pool)+1)
 	return p
+}
+
+// predictPair returns the memoized (S*, E*) predictions for fv, running the
+// NNs only on the first sighting of a feature vector. Safe for concurrent
+// use: the predictors are goroutine-safe and the memo is lock-protected (a
+// racing duplicate computation stores the identical deterministic value).
+func (p *Platform) predictPair(fv search.FeatureVector) predPair {
+	p.predMu.RLock()
+	pr, ok := p.predMemo[fv]
+	p.predMu.RUnlock()
+	if ok {
+		return pr
+	}
+	pr = predPair{svc: p.Classifier.PredictMs(fv), err: p.ErrPred.PredictErrMs(fv)}
+	p.predMu.Lock()
+	p.predMemo[fv] = pr
+	p.predMu.Unlock()
+	return pr
+}
+
+// AttachPredictions precomputes the per-request prediction table every
+// Gemini-family policy shares when simulating wl (see sim.Predictions).
+func (p *Platform) AttachPredictions(wl *sim.Workload) {
+	preds := &sim.Predictions{
+		ServiceMs: make([]float64, len(wl.Requests)),
+		ErrMs:     make([]float64, len(wl.Requests)),
+	}
+	for _, r := range wl.Requests {
+		pr := p.predictPair(r.Features)
+		preds.ServiceMs[r.ID], preds.ErrMs[r.ID] = pr.svc, pr.err
+	}
+	wl.Preds = preds
 }
 
 var (
@@ -211,13 +254,37 @@ func (p *Platform) SimConfig() sim.Config {
 	return cfg
 }
 
-// Workload materializes a request sequence from arrivals against the pool.
+// Workload materializes a request sequence from arrivals against the pool,
+// with the shared prediction table attached.
 func (p *Platform) Workload(arrivals []float64, durationMs float64, seed int64) *sim.Workload {
-	return sim.BuildWorkload(p.Pool, arrivals, p.Jitter, p.Opt.BudgetMs, durationMs, seed)
+	return p.WorkloadBudget(arrivals, durationMs, seed, p.Opt.BudgetMs)
+}
+
+// WorkloadBudget is Workload with an explicit latency budget, so parallel
+// experiment cells can vary the budget without mutating the shared Options.
+func (p *Platform) WorkloadBudget(arrivals []float64, durationMs float64, seed int64, budgetMs float64) *sim.Workload {
+	wl := sim.BuildWorkload(p.Pool, arrivals, p.Jitter, budgetMs, durationMs, seed)
+	p.AttachPredictions(wl)
+	return wl
 }
 
 // PolicyNames lists the five schemes of the Fig. 10/11 sweep in paper order.
 var PolicyNames = []string{"Baseline", "Rubik", "Pegasus", "Gemini-a", "Gemini"}
+
+// markCached lets a Gemini policy consume the workload prediction table for
+// whichever of its predictors are the platform's shared NN instances — the
+// table was computed by exactly those, so cached and live values coincide.
+// Other estimators (moving average, percentile, zero-error) keep the live
+// path: they are either stateful or too cheap to be worth caching.
+func (p *Platform) markCached(g *policy.Gemini) *policy.Gemini {
+	if g.Service == predictor.ServicePredictor(p.Classifier) {
+		g.UseCachedService = true
+	}
+	if g.ErrPred == predictor.ErrorPredictor(p.ErrPred) {
+		g.UseCachedErr = true
+	}
+	return g
+}
 
 // NewPolicy constructs a fresh policy instance by name (policies are
 // stateful: one instance per run).
@@ -230,9 +297,9 @@ func (p *Platform) NewPolicy(name string) (sim.Policy, error) {
 	case "Rubik":
 		return policy.NewRubikFromSamples(p.trainServiceTimes()), nil
 	case "Gemini":
-		return policy.NewGemini(p.Classifier, p.ErrPred), nil
+		return p.markCached(policy.NewGemini(p.Classifier, p.ErrPred)), nil
 	case "Gemini-a":
-		return policy.NewGeminiAlpha(p.Classifier), nil
+		return p.markCached(policy.NewGeminiAlpha(p.Classifier)), nil
 	case "Gemini-95th":
 		return policy.NewGemini95(p.P95), nil
 	case "EETL":
@@ -240,7 +307,7 @@ func (p *Platform) NewPolicy(name string) (sim.Policy, error) {
 	case "PACE-oracle":
 		return policy.NewPACEOracle(), nil
 	case "Gemini+Sleep":
-		return policy.NewSleepWrapper(policy.NewGemini(p.Classifier, p.ErrPred)), nil
+		return policy.NewSleepWrapper(p.markCached(policy.NewGemini(p.Classifier, p.ErrPred))), nil
 	case "ondemand":
 		return policy.NewOnDemand(), nil
 	case "conservative":

@@ -58,40 +58,66 @@ func (p *Platform) Fig2(nRequests int) *Report {
 // the slowest shard. ISN-level Gemini must hold the end-to-end tail at the
 // budget while saving power on every shard.
 func (p *Platform) ExtensionAggregate(nISNs int, rps, durationMs float64) (*Report, *AblationData) {
+	return p.ExtensionAggregateWorkers(nISNs, rps, durationMs, 1)
+}
+
+// ExtensionAggregateWorkers is ExtensionAggregate with the (policy, shard)
+// simulations fanned across the worker pool; the per-policy aggregation walks
+// shards in index order, so results are identical for any worker count.
+func (p *Platform) ExtensionAggregateWorkers(nISNs int, rps, durationMs float64, workers int) (*Report, *AblationData) {
 	if nISNs < 2 {
 		nISNs = 4
 	}
 	tr := trace.GenFixedRPS(rps*p.Opt.ShardFraction, durationMs, p.Opt.Seed+81)
+
+	// Each ISN serves the same arrivals with its own jitter draws; every
+	// (policy, shard) pair is an independent simulation.
+	names := []string{"Baseline", "Gemini"}
+	type shardSlot struct {
+		res  *sim.Result
+		lats []float64 // per-request latency, -1 = dropped
+	}
+	slots := make([]shardSlot, len(names)*nISNs)
+	gridRun(workers, len(slots), func(k int) {
+		ni, shard := k/nISNs, k%nISNs
+		name := names[ni]
+		wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+90+int64(shard))
+		cfg := p.SimConfig()
+		if name == "Baseline" {
+			cfg.PredictOverheadMs = 0
+		}
+		res := sim.Run(cfg, wl, p.MustPolicy(name))
+		lats := make([]float64, len(wl.Requests))
+		for i, req := range wl.Requests {
+			if req.Dropped {
+				lats[i] = -1 // excluded below: the aggregator ignored it
+			} else {
+				lats[i] = req.LatencyMs()
+			}
+		}
+		slots[k] = shardSlot{res: res, lats: lats}
+	})
 
 	data := &AblationData{Name: "aggregate"}
 	r := &Report{
 		Title:  "Extension — end-to-end aggregate latency over N ISNs (slowest shard gates)",
 		Header: []string{"Policy", "ISN p95 (ms)", "Aggregate p95 (ms)", "Aggregate p99", "Power/ISN (W)"},
 	}
-	for _, name := range []string{"Baseline", "Gemini"} {
-		// Each ISN serves the same arrivals with its own jitter draws.
+	for ni, name := range names {
 		perShard := make([][]float64, 0, nISNs) // per-shard latency per request index
 		var isnTail, corePow float64
 		var dropped bool
 		for shard := 0; shard < nISNs; shard++ {
-			wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+90+int64(shard))
-			cfg := p.SimConfig()
-			if name == "Baseline" {
-				cfg.PredictOverheadMs = 0
-			}
-			res := sim.Run(cfg, wl, p.MustPolicy(name))
-			isnTail += res.TailLatencyMs(95) / float64(nISNs)
-			corePow += res.AvgCorePowW / float64(nISNs)
-			lats := make([]float64, len(wl.Requests))
-			for i, req := range wl.Requests {
-				if req.Dropped {
+			slot := slots[ni*nISNs+shard]
+			isnTail += slot.res.TailLatencyMs(95) / float64(nISNs)
+			corePow += slot.res.AvgCorePowW / float64(nISNs)
+			for _, l := range slot.lats {
+				if l < 0 {
 					dropped = true
-					lats[i] = -1 // excluded below: the aggregator ignored it
-				} else {
-					lats[i] = req.LatencyMs()
+					break
 				}
 			}
-			perShard = append(perShard, lats)
+			perShard = append(perShard, slot.lats)
 		}
 		// Aggregate latency per request: max over shards that answered.
 		var agg []float64

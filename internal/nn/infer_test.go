@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestInferMatchesForward checks the reentrant path is bit-identical to the
+// training-time Forward pass.
+func TestInferMatchesForward(t *testing.T) {
+	net := NewMLP(7, []int{16, 11}, 5, 42)
+	arena := net.NewArena()
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		x := make([]float64, 7)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), net.Forward(x)...)
+		got := net.Infer(x, arena)
+		if len(got) != len(want) {
+			t.Fatalf("output length %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d output[%d]: Infer %v != Forward %v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentInfer hammers one trained Network from many goroutines, each
+// with its own arena, and checks every result against the serial reference.
+// Run under -race this is the correctness gate for the shared-predictor
+// concurrency of the parallel experiment harness.
+func TestConcurrentInfer(t *testing.T) {
+	const (
+		goroutines = 16
+		inputs     = 64
+		rounds     = 50
+	)
+	net := NewMLP(9, []int{24, 24}, 13, 3)
+
+	xs := make([][]float64, inputs)
+	want := make([][]float64, inputs)
+	rng := rand.New(rand.NewSource(11))
+	for i := range xs {
+		xs[i] = make([]float64, 9)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64() * 3
+		}
+		want[i] = append([]float64(nil), net.Forward(xs[i])...)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			arena := net.NewArena()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % inputs
+				got := net.Infer(xs[i], arena)
+				for j := range want[i] {
+					if got[j] != want[i][j] {
+						errs <- "concurrent Infer diverged from serial Forward"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func BenchmarkInfer(b *testing.B) {
+	net := NewMLP(12, []int{48, 48}, 61, 1)
+	arena := net.NewArena()
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Infer(x, arena)
+	}
+}
+
+func BenchmarkInferParallel(b *testing.B) {
+	net := NewMLP(12, []int{48, 48}, 61, 1)
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		arena := net.NewArena()
+		for pb.Next() {
+			net.Infer(x, arena)
+		}
+	})
+}

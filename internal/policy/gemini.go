@@ -38,6 +38,14 @@ type Gemini struct {
 	// pinning a shared group frequency (ablation: quantifies the transition
 	// overhead the grouping rule of §III-C avoids).
 	NoGrouping bool
+	// UseCachedService / UseCachedErr route OnArrival's predictions through
+	// the workload's precomputed table (sim.Predictions) instead of invoking
+	// Service / ErrPred per arrival. The harness sets these only when the
+	// table was produced by the very same predictor instances, so cached and
+	// live paths are bit-identical; stateful estimators (Gemini-α's moving
+	// average) must keep the live path.
+	UseCachedService bool
+	UseCachedErr     bool
 	// IdleFreq is applied when the queue drains.
 	IdleFreq cpu.Freq
 
@@ -102,8 +110,17 @@ func (g *Gemini) Init(s *sim.Sim) {
 // OnArrival implements sim.Policy: predict, then apply the critical-request
 // test when the request queues behind others (§III-B/C).
 func (g *Gemini) OnArrival(s *sim.Sim, r *sim.Request) {
-	r.PredictedMs = g.Service.PredictMs(r.Features)
-	r.PredErrMs = g.ErrPred.PredictErrMs(r.Features)
+	svcMs, errMs, cached := s.Predictions().Lookup(r)
+	if cached && g.UseCachedService {
+		r.PredictedMs = svcMs
+	} else {
+		r.PredictedMs = g.Service.PredictMs(r.Features)
+	}
+	if cached && g.UseCachedErr {
+		r.PredErrMs = errMs
+	} else {
+		r.PredErrMs = g.ErrPred.PredictErrMs(r.Features)
+	}
 
 	q := s.Queue()
 	if len(q) < 2 {

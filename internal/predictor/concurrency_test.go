@@ -1,0 +1,54 @@
+package predictor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPredict hammers one trained classifier and one trained error
+// predictor from many goroutines and checks every prediction against the
+// serial reference. Under -race this gates the shared-predictor concurrency
+// the parallel experiment harness depends on.
+func TestConcurrentPredict(t *testing.T) {
+	ds, _ := dataset(t)
+	cfg := TestConfig()
+	clf := TrainClassifier(ds.Train, nil, cfg)
+	ep := TrainError(ds.Train, clf, cfg)
+
+	samples := ds.Test
+	if len(samples) > 64 {
+		samples = samples[:64]
+	}
+	wantMs := make([]float64, len(samples))
+	wantErr := make([]float64, len(samples))
+	for i, s := range samples {
+		wantMs[i] = clf.PredictMs(s.Features)
+		wantErr[i] = ep.PredictErrMs(s.Features)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				i := (g + r) % len(samples)
+				if got := clf.PredictMs(samples[i].Features); got != wantMs[i] {
+					errs <- "concurrent PredictMs diverged from serial"
+					return
+				}
+				if got := ep.PredictErrMs(samples[i].Features); got != wantErr[i] {
+					errs <- "concurrent PredictErrMs diverged from serial"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -16,10 +16,12 @@ const errRangeMs = 10
 // buckets, trained on the residuals of a service predictor over the training
 // set (labels E = measured − predicted are "easily obtained ... since we can
 // keep track of the measured request latencies in the past").
+// PredictErrMs is goroutine-safe (reentrant inference with pooled scratch),
+// so the platform's shared error NN can serve every parallel sweep worker.
 type NNError struct {
-	net    *nn.Network
-	scaler *nn.Scaler
-	buf    []float64
+	net     *nn.Network
+	scaler  *nn.Scaler
+	scratch scratchPool
 }
 
 // TrainError fits the error model for the residuals of sp on train.
@@ -39,7 +41,7 @@ func TrainError(train []Sample, sp ServicePredictor, cfg Config) *NNError {
 		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 102,
 	}
 	_, _ = tr.Fit(Xs, Y)
-	return &NNError{net: net, scaler: scaler, buf: make([]float64, len(Xs[0]))}
+	return &NNError{net: net, scaler: scaler}
 }
 
 // errClass maps a signed ms error to a class index 0..2*errRangeMs by
@@ -60,8 +62,11 @@ func classToErr(c int) float64 { return float64(c - errRangeMs) }
 
 // PredictErrMs implements ErrorPredictor.
 func (e *NNError) PredictErrMs(fv search.FeatureVector) float64 {
-	e.scaler.TransformInto(fv[:], e.buf)
-	return classToErr(nn.Argmax(e.net.Forward(e.buf)))
+	s := e.scratch.get(e.net)
+	e.scaler.TransformInto(fv[:], s.in)
+	v := classToErr(nn.Argmax(e.net.Infer(s.in, s.ar)))
+	e.scratch.put(s)
+	return v
 }
 
 // Name implements ErrorPredictor.

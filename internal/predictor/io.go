@@ -67,10 +67,7 @@ func LoadClassifier(r io.Reader) (*NNClassifier, error) {
 		return nil, fmt.Errorf("predictor: network output %d does not match %d buckets", net.OutDim(), snap.MaxMs+1)
 	}
 	scaler := &nn.Scaler{LogCols: snap.LogCols, Mean: snap.Mean, Std: snap.Std}
-	return &NNClassifier{
-		net: net, scaler: scaler, cols: snap.Cols, maxMs: snap.MaxMs,
-		buf: make([]float64, net.InDim()),
-	}, nil
+	return &NNClassifier{net: net, scaler: scaler, cols: snap.Cols, maxMs: snap.MaxMs}, nil
 }
 
 // SaveFile writes the classifier to a file path.
@@ -126,5 +123,5 @@ func LoadError(r io.Reader) (*NNError, error) {
 		return nil, fmt.Errorf("predictor: network output %d does not match error buckets", net.OutDim())
 	}
 	scaler := &nn.Scaler{LogCols: snap.LogCols, Mean: snap.Mean, Std: snap.Std}
-	return &NNError{net: net, scaler: scaler, buf: make([]float64, net.InDim())}, nil
+	return &NNError{net: net, scaler: scaler}, nil
 }

@@ -1,9 +1,37 @@
 package predictor
 
 import (
+	"sync"
+
 	"gemini/internal/nn"
 	"gemini/internal/search"
 )
+
+// inferScratch bundles the per-call buffers of one NN prediction: the raw
+// feature projection, the scaled network input, and the forward-pass arena.
+// Predictors keep these in a sync.Pool so PredictMs is allocation-free and
+// safe to call from many goroutines at once (the trained networks and
+// scalers are read-only at inference time).
+type inferScratch struct {
+	raw []float64
+	in  []float64
+	ar  *nn.Arena
+}
+
+// scratchPool amortizes inferScratch allocation for one trained network.
+type scratchPool struct {
+	pool sync.Pool
+}
+
+func (p *scratchPool) get(net *nn.Network) *inferScratch {
+	if s, ok := p.pool.Get().(*inferScratch); ok {
+		return s
+	}
+	in := net.InDim()
+	return &inferScratch{raw: make([]float64, in), in: make([]float64, in), ar: net.NewArena()}
+}
+
+func (p *scratchPool) put(s *inferScratch) { p.pool.Put(s) }
 
 // Config selects the architecture and training budget of the NN predictors.
 type Config struct {
@@ -37,12 +65,16 @@ func TestConfig() Config {
 // NNClassifier is the paper's latency predictor: a relu MLP with one output
 // neuron per millisecond bucket, trained with sparse categorical
 // cross-entropy and Adam (§IV-A). Predictions return the bucket center.
+// PredictMs/PredictClass are goroutine-safe: inference runs through the
+// reentrant nn.Infer path with pooled scratch, so one trained classifier can
+// be shared by every worker of the parallel experiment harness and by
+// concurrent server handlers.
 type NNClassifier struct {
-	net    *nn.Network
-	scaler *nn.Scaler
-	cols   []int // feature subset (nil = all); supports the Fig. 6 sweep
-	maxMs  int
-	buf    []float64
+	net     *nn.Network
+	scaler  *nn.Scaler
+	cols    []int // feature subset (nil = all); supports the Fig. 6 sweep
+	maxMs   int
+	scratch scratchPool
 }
 
 // TrainClassifier fits the classifier on the training samples using the
@@ -61,7 +93,7 @@ func TrainClassifier(train []Sample, cols []int, cfg Config) *NNClassifier {
 		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 100,
 	}
 	_, _ = tr.Fit(Xs, Y)
-	return &NNClassifier{net: net, scaler: scaler, cols: cols, maxMs: cfg.MaxMs, buf: make([]float64, len(Xs[0]))}
+	return &NNClassifier{net: net, scaler: scaler, cols: cols, maxMs: cfg.MaxMs}
 }
 
 func clampClass(ms float64, maxMs int) int {
@@ -75,28 +107,34 @@ func clampClass(ms float64, maxMs int) int {
 	return c
 }
 
-func (c *NNClassifier) project(fv search.FeatureVector) []float64 {
+// project fills s.in with the scaled (and optionally column-projected)
+// feature vector.
+func (c *NNClassifier) project(fv search.FeatureVector, s *inferScratch) []float64 {
 	if c.cols == nil {
-		c.scaler.TransformInto(fv[:], c.buf)
+		c.scaler.TransformInto(fv[:], s.in)
 	} else {
-		raw := make([]float64, len(c.cols))
 		for j, col := range c.cols {
-			raw[j] = fv[col]
+			s.raw[j] = fv[col]
 		}
-		c.scaler.TransformInto(raw, c.buf)
+		c.scaler.TransformInto(s.raw[:len(c.cols)], s.in)
 	}
-	return c.buf
+	return s.in
 }
 
 // PredictMs implements ServicePredictor: the center of the argmax bucket.
 func (c *NNClassifier) PredictMs(fv search.FeatureVector) float64 {
-	out := c.net.Forward(c.project(fv))
-	return float64(nn.Argmax(out)) + 0.5
+	s := c.scratch.get(c.net)
+	v := float64(nn.Argmax(c.net.Infer(c.project(fv, s), s.ar))) + 0.5
+	c.scratch.put(s)
+	return v
 }
 
 // PredictClass returns the raw argmax bucket.
 func (c *NNClassifier) PredictClass(fv search.FeatureVector) int {
-	return nn.Argmax(c.net.Forward(c.project(fv)))
+	s := c.scratch.get(c.net)
+	cls := nn.Argmax(c.net.Infer(c.project(fv, s), s.ar))
+	c.scratch.put(s)
+	return cls
 }
 
 // Name implements ServicePredictor.
@@ -109,11 +147,11 @@ func (c *NNClassifier) OverheadUs() float64 { return modelOverheadUs(c.net.NumPa
 func (c *NNClassifier) Network() *nn.Network { return c.net }
 
 // NNRegressor is the Fig. 7 baseline: same MLP body with a single linear
-// output trained on MSE with RMSprop (§IV-B).
+// output trained on MSE with RMSprop (§IV-B). PredictMs is goroutine-safe.
 type NNRegressor struct {
-	net    *nn.Network
-	scaler *nn.Scaler
-	buf    []float64
+	net     *nn.Network
+	scaler  *nn.Scaler
+	scratch scratchPool
 }
 
 // TrainRegressor fits the regressor on all Table II features.
@@ -127,13 +165,15 @@ func TrainRegressor(train []Sample, cfg Config) *NNRegressor {
 		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 101,
 	}
 	_, _ = tr.Fit(Xs, Y)
-	return &NNRegressor{net: net, scaler: scaler, buf: make([]float64, len(Xs[0]))}
+	return &NNRegressor{net: net, scaler: scaler}
 }
 
 // PredictMs implements ServicePredictor.
 func (r *NNRegressor) PredictMs(fv search.FeatureVector) float64 {
-	r.scaler.TransformInto(fv[:], r.buf)
-	v := r.net.Forward(r.buf)[0]
+	s := r.scratch.get(r.net)
+	r.scaler.TransformInto(fv[:], s.in)
+	v := r.net.Infer(s.in, s.ar)[0]
+	r.scratch.put(s)
 	if v < 0 {
 		v = 0
 	}

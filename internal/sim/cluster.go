@@ -58,7 +58,9 @@ func RunCluster(cfg Config, wl *Workload, cores int, mkPolicy func(core int) Pol
 func Dispatch(wl *Workload, cores int) []*Workload {
 	parts := make([]*Workload, cores)
 	for c := range parts {
-		parts[c] = &Workload{BudgetMs: wl.BudgetMs, DurationMs: wl.DurationMs}
+		// The prediction table is indexed by global request ID, so every
+		// per-core part can share the parent workload's table directly.
+		parts[c] = &Workload{BudgetMs: wl.BudgetMs, DurationMs: wl.DurationMs, Preds: wl.Preds}
 	}
 	vFinish := make([]float64, cores)
 	for _, r := range wl.Requests {

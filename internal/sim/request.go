@@ -80,11 +80,34 @@ func PrepareQueries(e *search.Engine, x *search.Extractor, cm *search.CostModel,
 	return out
 }
 
+// Predictions is a per-request table of NN predictor outputs, indexed by
+// Request.ID. The harness precomputes it once per workload (predictions
+// depend only on a request's features, never on the policy or the run), so
+// every policy simulating the workload shares one table instead of re-running
+// both NN forwards per request — O(requests) forwards for a whole policy
+// sweep instead of O(policies × requests). The table is read-only during
+// simulation and therefore safe to share across concurrent runs.
+type Predictions struct {
+	ServiceMs []float64 // S*: service-time predictor output (eq. 1)
+	ErrMs     []float64 // E*: error predictor output (eq. 6)
+}
+
+// Lookup returns the cached pair for r and whether the table covers it.
+func (p *Predictions) Lookup(r *Request) (svcMs, errMs float64, ok bool) {
+	if p == nil || r.ID < 0 || r.ID >= len(p.ServiceMs) {
+		return 0, 0, false
+	}
+	return p.ServiceMs[r.ID], p.ErrMs[r.ID], true
+}
+
 // Workload is a fully materialized request sequence for one simulation run.
 type Workload struct {
 	Requests   []*Request
 	DurationMs float64
 	BudgetMs   float64
+	// Preds, when non-nil, holds precomputed per-request predictions shared
+	// by every policy simulating this workload (see Predictions).
+	Preds *Predictions
 }
 
 // BuildWorkload samples one pool query per arrival (uniformly, seeded) and

@@ -151,6 +151,11 @@ func (s *Sim) TdvfsMs() float64 { return s.cfg.TdvfsMs }
 // BudgetMs returns the workload's latency budget.
 func (s *Sim) BudgetMs() float64 { return s.wl.BudgetMs }
 
+// Predictions returns the workload's precomputed prediction table (nil when
+// the workload carries none). Policies whose predictors produced the table
+// read it instead of re-running inference per arrival.
+func (s *Sim) Predictions() *Predictions { return s.wl.Preds }
+
 // Queue returns the live queue; index 0 is the executing request. Callers
 // must not mutate it.
 func (s *Sim) Queue() []*Request { return s.queue }
