@@ -25,6 +25,9 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		durScale = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
 		workers  = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids (1 = serial; results are identical)")
+		logPath  = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
+		logPol   = flag.String("log-policy", "Gemini", "policy for -log-decisions")
+		logTrace = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,32 @@ func main() {
 			scale = 0.2
 		}
 	}
+
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, tracer, err := p.LogDecisions(f, *logPol, *logTrace, 60, 120_000*scale)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		q := tracer.Quality()
+		fmt.Fprintf(os.Stderr, "%s on %s: %d decisions -> %s\n", *logPol, *logTrace, tracer.Emitted(), *logPath)
+		fmt.Fprintf(os.Stderr, "completed %d, dropped %d, violation %.2f%%, p95 %.2f ms\n",
+			res.Completed, res.Dropped, res.ViolationRate()*100, res.TailLatencyMs(95))
+		if q.N > 0 {
+			fmt.Fprintf(os.Stderr, "prediction audit: MAE %.2f ms, p95 |err| %.2f ms, coverage %.1f%% (n=%d)\n",
+				q.MAEMs, q.P95Ms, q.CoverageRate*100, q.N)
+		}
+		return
+	}
+
 	set := harness.NewExperimentSet(p, scale)
 	set.Workers = *workers
 	fmt.Fprintf(os.Stderr, "experiment grids run on %d worker(s)\n", *workers)

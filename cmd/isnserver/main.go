@@ -11,6 +11,12 @@
 // Each ISN also listens on port+1+shard for direct inspection:
 //
 //	curl -s -X POST localhost:8081/search -d '{"query":"canada"}'
+//
+// Every listener exposes the shared observability surface:
+//
+//	curl -s localhost:8080/metrics          # Prometheus text, all shards
+//	curl -s localhost:8080/debug/decisions  # recent aggregations as JSON
+//	curl -s localhost:8081/debug/decisions  # ISN-0's per-query DVFS decisions
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 
 	"gemini/internal/corpus"
 	"gemini/internal/index"
+	"gemini/internal/predictor"
 	"gemini/internal/search"
 	"gemini/internal/server"
+	"gemini/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +41,14 @@ func main() {
 		k       = flag.Int("k", 10, "result-set size")
 		partial = flag.Bool("partial", true, "partial aggregation: ignore stragglers past -timeout")
 		timeout = flag.Duration("timeout", 100*time.Millisecond, "straggler cutoff for -partial")
+		predict = flag.Bool("predict", false, "train a linear service-time predictor per shard (S*/E* annotations)")
+		budget  = flag.Float64("budget", server.DefaultBudgetMs, "per-query latency budget in ms (DVFS plans, deadline slack)")
+		ringCap = flag.Int("decision-ring", 512, "decisions retained per /debug/decisions endpoint")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	met := server.NewMetrics(reg)
 
 	var urls []string
 	for s := 0; s < *shards; s++ {
@@ -44,10 +58,32 @@ func main() {
 		c := corpus.Generate(spec)
 		eng := search.NewEngine(index.Build(c), *k)
 		isn := server.NewISN(s, c, eng, search.DefaultCostModel())
+		isn.BudgetMs = *budget
+		if *predict {
+			// Label a query sample on this shard and fit the linear
+			// classifier (Fig. 7's cheap baseline — fast enough to train at
+			// startup) plus the Gemini-alpha moving-average error bound.
+			b := &predictor.Builder{
+				Engine:    eng,
+				Extractor: isn.Extractor,
+				Cost:      isn.Cost,
+				Jitter:    search.DefaultJitter(),
+			}
+			gen := corpus.NewQueryGen(c, spec.Seed+100)
+			ds := b.Build(gen.Batch(400), 0.2, spec.Seed)
+			isn.Service = predictor.TrainLinear(ds.Train, predictor.DefaultConfig())
+			isn.ErrPred = predictor.NewMovingAvgError(60)
+			log.Printf("ISN-%d: trained %s on %d samples", s, isn.Service.Name(), len(ds.Train))
+		}
+		isn.Instrument(met)
+		tracer := telemetry.NewTracer(*ringCap)
+		isn.Tracer = tracer
 		isn.Start()
 
 		mux := http.NewServeMux()
 		mux.Handle("/search", isn)
+		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+		mux.Handle("/debug/decisions", telemetry.DecisionsHandler(tracer, 100))
 		addr := fmt.Sprintf("127.0.0.1:%d", *port+1+s)
 		go func(a string, m *http.ServeMux) {
 			log.Fatal(http.ListenAndServe(a, m))
@@ -62,12 +98,19 @@ func main() {
 		agg.Quorum = *shards
 		agg.Timeout = *timeout
 	}
+	agg.BudgetMs = *budget
+	agg.Instrument(met)
+	aggTracer := telemetry.NewTracer(*ringCap)
+	agg.Tracer = aggTracer
+
 	mux := http.NewServeMux()
 	mux.Handle("/search", agg)
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(aggTracer, 100))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	addr := fmt.Sprintf("127.0.0.1:%d", *port)
-	log.Printf("aggregator on %s (POST /search)", addr)
+	log.Printf("aggregator on %s (POST /search; GET /metrics, /debug/decisions)", addr)
 	log.Fatal(http.ListenAndServe(addr, mux))
 }

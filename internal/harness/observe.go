@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"gemini/internal/sim"
+	"gemini/internal/telemetry"
+	"gemini/internal/trace"
+)
+
+// LogDecisions runs one (policy, trace) simulation cell — the same cell
+// geometry as the Fig. 12–14 grid — with a decision tracer attached,
+// streaming every per-request telemetry.Decision to w as one JSON line each.
+// It returns the run's Result and the tracer (whose Quality() snapshot
+// summarizes the predictors' live accuracy over the run).
+func (p *Platform) LogDecisions(w io.Writer, policyName, traceName string, avgRPS, durationMs float64) (*sim.Result, *telemetry.Tracer, error) {
+	pol, err := p.NewPolicy(policyName)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := trace.GenEvalTrace(traceName, avgRPS*p.Opt.ShardFraction, durationMs, p.Opt.Seed+40)
+	wl := p.Workload(tr.Arrivals, durationMs, p.Opt.Seed+50)
+
+	cfg := p.SimConfig()
+	tracer := telemetry.NewTracer(4096)
+	tracer.SetSink(w)
+	cfg.Tracer = tracer
+
+	res := sim.Run(cfg, wl, pol)
+	if err := tracer.SinkErr(); err != nil {
+		return res, tracer, fmt.Errorf("harness: decision log write: %w", err)
+	}
+	return res, tracer, nil
+}

@@ -152,6 +152,7 @@ func (g *Gemini) OnArrival(s *sim.Sim, r *sim.Request) {
 	if plan.HasBoost() && !g.DisableBoost {
 		s.PlanFreqChange(plan.BoostAt, plan.Boost)
 	}
+	g.tracePlan(s, r, freq, plan, r.ID)
 	g.groupMembers = make(map[int]bool, len(q))
 	for _, m := range q {
 		g.groupMembers[m.ID] = true
@@ -199,6 +200,7 @@ func (g *Gemini) planHead(s *sim.Sim, r *sim.Request) {
 	if plan.HasBoost() && !g.DisableBoost {
 		s.PlanFreqChange(plan.BoostAt, plan.Boost)
 	}
+	g.tracePlan(s, r, plan.Initial, plan, crit.ID)
 	g.groupMembers = make(map[int]bool, bind+1)
 	for _, m := range q[:bind+1] {
 		g.groupMembers[m.ID] = true
@@ -220,6 +222,21 @@ func (g *Gemini) applyPlan(s *sim.Sim, r *sim.Request, plan core.Plan) {
 	if plan.HasBoost() && !g.DisableBoost {
 		s.PlanFreqChange(plan.BoostAt, plan.Boost)
 	}
+	g.tracePlan(s, r, plan.Initial, plan, -1)
+}
+
+// tracePlan reports the chosen schedule to the decision tracer (no-op when
+// tracing is disabled). The boost step is reported only when it will
+// actually be armed, so disabled-boost ablations trace what they execute.
+func (g *Gemini) tracePlan(s *sim.Sim, r *sim.Request, initial cpu.Freq, plan core.Plan, criticalID int) {
+	if !s.TraceEnabled() {
+		return
+	}
+	boost, boostAt := cpu.Freq(0), 0.0
+	if plan.HasBoost() && !g.DisableBoost {
+		boost, boostAt = plan.Boost, plan.BoostAt
+	}
+	s.TracePlan(r, initial, boost, boostAt, criticalID)
 }
 
 // bindingIndex returns the queue index whose deadline demands the highest

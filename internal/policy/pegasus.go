@@ -70,5 +70,11 @@ func (p *Pegasus) OnTimer(s *sim.Sim, _ int64) {
 		// paper's unsharded ISNs never see an empty epoch, so the controller
 		// defines no action for one).
 	}
+	// Pegasus decides per epoch, not per request; the in-flight head (if
+	// any) inherits the epoch's frequency, which is what its decision record
+	// should show.
+	if q := s.Queue(); len(q) > 0 {
+		s.TracePlan(q[0], s.Freq(), 0, 0, -1)
+	}
 	s.SetTimer(s.Now()+p.EpochMs, 0)
 }

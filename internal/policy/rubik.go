@@ -124,5 +124,9 @@ func (p *Rubik) replan(s *sim.Sim) {
 			required = f
 		}
 	}
-	s.SetFreq(s.Ladder().ClampUp(cpu.Freq(required)))
+	f := s.Ladder().ClampUp(cpu.Freq(required))
+	s.SetFreq(f)
+	// Rubik is single-step: the whole queue runs at f until the next event,
+	// so the head's decision record carries it as the initial frequency.
+	s.TracePlan(q[0], f, 0, 0, -1)
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gemini/internal/telemetry"
 )
 
 // AggPolicy selects how the aggregator waits for shards (paper ref [2],
@@ -29,7 +31,12 @@ type AggResponse struct {
 	Results         []ShardResult `json:"results"`
 	ShardsAsked     int           `json:"shards_asked"`
 	ShardsResponded int           `json:"shards_responded"`
-	LatencyMs       float64       `json:"latency_ms"`
+	// Stragglers counts shards whose replies were still in flight when the
+	// aggregation returned (partial aggregation discards them, ref [2]).
+	Stragglers int `json:"stragglers"`
+	// ShardErrors counts shards whose requests failed outright.
+	ShardErrors int     `json:"shard_errors"`
+	LatencyMs   float64 `json:"latency_ms"`
 	// PerShard carries each responding ISN's timing metadata.
 	PerShard []ISNResponse `json:"per_shard"`
 }
@@ -42,6 +49,21 @@ type Aggregator struct {
 	Quorum    int           // Partial: shards to wait for (default all-1)
 	Timeout   time.Duration // Partial: straggler cutoff (default 100 ms)
 	Client    *http.Client
+
+	// BudgetMs is the end-to-end latency budget used for the decision
+	// trace's slack/violation fields (DefaultBudgetMs when zero).
+	BudgetMs float64
+	// Metrics, when non-nil, receives the aggregation counters; attach via
+	// Instrument so per-shard families render from startup.
+	Metrics *Metrics
+	// Tracer, when non-nil, receives one telemetry.Decision per aggregation:
+	// the worst responding shard's S*/E* view against its modeled service
+	// time, and the end-to-end outcome. Served at /debug/decisions.
+	Tracer *telemetry.Tracer
+
+	mu        sync.Mutex
+	seq       int
+	startedAt time.Time // trace time origin, set on the first aggregation
 }
 
 // NewAggregator builds an aggregator over the shard endpoints.
@@ -53,6 +75,20 @@ func NewAggregator(urls []string, k int) *Aggregator {
 		Quorum:    len(urls),
 		Timeout:   100 * time.Millisecond,
 		Client:    &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Instrument attaches the shared metrics bundle and pre-registers every
+// per-shard straggler/error counter so the families render (at zero) before
+// any straggler occurs.
+func (a *Aggregator) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	a.Metrics = m
+	for i := range a.ShardURLs {
+		m.Registry.Counter(aggStragglerName, aggStragglerHelp, shardLabel(i))
+		m.Registry.Counter(aggShardErrName, aggShardErrHelp, shardLabel(i))
 	}
 }
 
@@ -68,38 +104,39 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 	}
 
 	type shardReply struct {
+		idx  int
 		resp ISNResponse
 		err  error
 	}
 	replies := make(chan shardReply, len(a.ShardURLs))
 	var wg sync.WaitGroup
-	for _, url := range a.ShardURLs {
+	for i, url := range a.ShardURLs {
 		wg.Add(1)
-		go func(u string) {
+		go func(idx int, u string) {
 			defer wg.Done()
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/search", bytes.NewReader(body))
 			if err != nil {
-				replies <- shardReply{err: err}
+				replies <- shardReply{idx: idx, err: err}
 				return
 			}
 			req.Header.Set("Content-Type", "application/json")
 			httpResp, err := a.Client.Do(req)
 			if err != nil {
-				replies <- shardReply{err: err}
+				replies <- shardReply{idx: idx, err: err}
 				return
 			}
 			defer httpResp.Body.Close()
 			if httpResp.StatusCode != http.StatusOK {
-				replies <- shardReply{err: fmt.Errorf("shard %s: status %d", u, httpResp.StatusCode)}
+				replies <- shardReply{idx: idx, err: fmt.Errorf("shard %s: status %d", u, httpResp.StatusCode)}
 				return
 			}
 			var r ISNResponse
 			if err := json.NewDecoder(httpResp.Body).Decode(&r); err != nil {
-				replies <- shardReply{err: err}
+				replies <- shardReply{idx: idx, err: err}
 				return
 			}
-			replies <- shardReply{resp: r}
-		}(url)
+			replies <- shardReply{idx: idx, resp: r}
+		}(i, url)
 	}
 	go func() { wg.Wait(); close(replies) }()
 
@@ -111,9 +148,10 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 	defer deadline.Stop()
 
 	agg := &AggResponse{ShardsAsked: len(a.ShardURLs)}
+	settled := make([]bool, len(a.ShardURLs)) // responded or errored
 	var firstErr error
 collect:
-	for agg.ShardsResponded < len(a.ShardURLs) {
+	for agg.ShardsResponded+agg.ShardErrors < len(a.ShardURLs) {
 		if a.Policy == Partial && agg.ShardsResponded >= quorum {
 			break
 		}
@@ -123,10 +161,9 @@ collect:
 				if !ok {
 					break collect
 				}
+				settled[rep.idx] = true
 				if rep.err != nil {
-					if firstErr == nil {
-						firstErr = rep.err
-					}
+					a.shardError(rep.idx, &firstErr, rep.err, agg)
 					continue
 				}
 				agg.PerShard = append(agg.PerShard, rep.resp)
@@ -141,17 +178,29 @@ collect:
 			if !ok {
 				break collect
 			}
+			settled[rep.idx] = true
 			if rep.err != nil {
-				if firstErr == nil {
-					firstErr = rep.err
-				}
+				a.shardError(rep.idx, &firstErr, rep.err, agg)
 				continue
 			}
 			agg.PerShard = append(agg.PerShard, rep.resp)
 			agg.ShardsResponded++
 		}
 	}
+	// Every shard that never settled was abandoned in flight: a straggler
+	// whose eventual reply partial aggregation discards (ref [2]).
+	for i, done := range settled {
+		if !done {
+			agg.Stragglers++
+			if a.Metrics != nil {
+				a.Metrics.shardStraggler(i)
+			}
+		}
+	}
 	if agg.ShardsResponded == 0 {
+		if a.Metrics != nil {
+			a.Metrics.aggErrors.Inc()
+		}
 		if firstErr != nil {
 			return nil, firstErr
 		}
@@ -175,7 +224,74 @@ collect:
 		agg.Results = agg.Results[:a.K]
 	}
 	agg.LatencyMs = float64(time.Since(start).Microseconds()) / 1000
+	a.observe(agg, start)
 	return agg, nil
+}
+
+// shardError accounts one failed shard request.
+func (a *Aggregator) shardError(idx int, firstErr *error, err error, agg *AggResponse) {
+	agg.ShardErrors++
+	if *firstErr == nil {
+		*firstErr = err
+	}
+	if a.Metrics != nil {
+		a.Metrics.shardError(idx)
+	}
+}
+
+// observe records a completed aggregation into the metrics bundle and the
+// decision trace.
+func (a *Aggregator) observe(agg *AggResponse, start time.Time) {
+	if a.Metrics != nil {
+		a.Metrics.aggRequests.Inc()
+		a.Metrics.aggLatency.Observe(agg.LatencyMs)
+		if agg.ShardsResponded < agg.ShardsAsked {
+			a.Metrics.aggPartials.Inc()
+		}
+	}
+	if a.Tracer == nil {
+		return
+	}
+	budget := a.BudgetMs
+	if budget <= 0 {
+		budget = DefaultBudgetMs
+	}
+	a.mu.Lock()
+	a.seq++
+	seq := a.seq
+	if a.startedAt.IsZero() {
+		a.startedAt = start
+	}
+	t0 := a.startedAt
+	a.mu.Unlock()
+	arrivalMs := float64(start.Sub(t0).Microseconds()) / 1000
+	d := telemetry.Decision{
+		Policy:          "aggregator",
+		RequestID:       seq,
+		ArrivalMs:       arrivalMs,
+		CriticalID:      -1,
+		QueueDepth:      agg.ShardsResponded,
+		StartMs:         arrivalMs,
+		FinishMs:        arrivalMs + agg.LatencyMs,
+		ServiceMs:       agg.LatencyMs,
+		LatencyMs:       agg.LatencyMs,
+		DeadlineSlackMs: budget - agg.LatencyMs,
+		// A straggler's reply is dropped, not a violation: partial
+		// aggregation within the budget is a success with reduced quality,
+		// surfaced by the straggler/partial counters.
+		Violated: agg.LatencyMs > budget,
+	}
+	// The aggregation is governed by its slowest responding shard: carry
+	// that shard's predicted-vs-modeled-actual pair as the aggregation's
+	// prediction view.
+	for _, r := range agg.PerShard {
+		if r.ServiceMs > d.ActualMs {
+			d.ActualMs = r.ServiceMs
+			d.PredictedMs = r.PredictedMs
+			d.PredErrMs = r.PredErrMs
+		}
+	}
+	a.Tracer.Emit(d)
 }
 
 // ServeHTTP exposes the aggregator as an HTTP endpoint.

@@ -16,15 +16,22 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
 
+	"gemini/internal/core"
 	"gemini/internal/corpus"
 	"gemini/internal/cpu"
 	"gemini/internal/predictor"
 	"gemini/internal/search"
+	"gemini/internal/telemetry"
 )
+
+// DefaultBudgetMs is the per-query latency budget assumed when none is
+// configured (the paper's 40 ms ISN deadline, §II-A).
+const DefaultBudgetMs = 40
 
 // SearchRequest is the JSON body of POST /search.
 type SearchRequest struct {
@@ -63,11 +70,32 @@ type ISN struct {
 	Service predictor.ServicePredictor
 	ErrPred predictor.ErrorPredictor
 
+	// BudgetMs is the per-query latency budget driving the modeled DVFS plan
+	// and the deadline-slack telemetry (DefaultBudgetMs when zero).
+	BudgetMs float64
+	// Tracer, when non-nil, receives one telemetry.Decision per served query:
+	// the predictors' view, the plan §III-A would have chosen, and the modeled
+	// outcome. Served at /debug/decisions by cmd/isnserver.
+	Tracer *telemetry.Tracer
+
 	queue   chan isnTask
 	started sync.Once
 	stopped chan struct{}
 	depth   int
 	mu      sync.Mutex
+
+	// Modeled DVFS state (real frequencies stay the simulator's domain; the
+	// live path models the plan each query would have executed, see the
+	// package comment). Guarded by mu.
+	planner     core.Params
+	power       *cpu.PowerModel
+	modelFreq   cpu.Freq
+	energyMJ    float64
+	transitions uint64
+	seq         int
+
+	met *isnInstruments
+	t0  time.Time
 }
 
 type isnTask struct {
@@ -86,7 +114,20 @@ func NewISN(shard int, c *corpus.Corpus, eng *search.Engine, cost *search.CostMo
 		Cost:      cost,
 		queue:     make(chan isnTask, 1024),
 		stopped:   make(chan struct{}),
+		planner:   core.DefaultParams(),
+		power:     cpu.DefaultPowerModel(),
+		modelFreq: cpu.FDefault,
+		t0:        time.Now(),
 	}
+}
+
+// Instrument attaches the shared metrics bundle; the shard's labeled
+// instruments are created (and therefore rendered, at zero) immediately.
+func (n *ISN) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	n.met = m.isnInstruments(n.ShardID)
 }
 
 // Start launches the working thread. Idempotent.
@@ -104,7 +145,11 @@ func (n *ISN) worker() {
 			t.resp <- n.execute(t)
 			n.mu.Lock()
 			n.depth--
+			depth := n.depth
 			n.mu.Unlock()
+			if n.met != nil {
+				n.met.queueDepth.Set(float64(depth))
+			}
 		case <-n.stopped:
 			return
 		}
@@ -134,6 +179,116 @@ func (n *ISN) execute(t isnTask) ISNResponse {
 	return resp
 }
 
+// observe records the served query into the shard's instruments and decision
+// trace: the wall latency, the §III-A plan the modeled DVFS would have
+// executed for the predicted service time, and its energy and transitions.
+// A no-op unless the ISN is instrumented or traced.
+func (n *ISN) observe(resp ISNResponse, start time.Time, depth int) {
+	if n.met == nil && n.Tracer == nil {
+		return
+	}
+	latencyMs := float64(time.Since(start).Microseconds()) / 1000
+	budget := n.BudgetMs
+	if budget <= 0 {
+		budget = DefaultBudgetMs
+	}
+
+	// The plan §III-A would choose: eq. 5 initial frequency and eq. 7 boost
+	// for a predicted query, single-step FDefault when no predictor is
+	// attached.
+	plan := core.Plan{Initial: cpu.FDefault, Boost: cpu.FDefault, BoostAt: math.Inf(1)}
+	if resp.PredictedMs > 0 {
+		plan = n.planner.PlanSingle(0, budget, resp.PredictedMs, resp.PredErrMs)
+	}
+	work := cpu.WorkFor(resp.ServiceMs, cpu.FDefault)
+	execMs, energyMJ, transitions, totalMJ, seq := n.applyModel(plan, work)
+
+	// Feed the Gemini-α style moving-average estimator, when attached, with
+	// the observed error magnitude so E* adapts to the live stream.
+	if ma, ok := n.ErrPred.(*predictor.MovingAvgError); ok && resp.PredictedMs > 0 {
+		ma.Observe(resp.ServiceMs - resp.PredictedMs)
+	}
+
+	if n.met != nil {
+		n.met.requests.Inc()
+		n.met.latency.Observe(latencyMs)
+		n.met.service.Observe(resp.ServiceMs)
+		n.met.energy.Set(totalMJ)
+		if transitions > 0 {
+			n.met.transitions.Add(uint64(transitions))
+		}
+		if resp.PredictedMs > 0 {
+			n.met.predTotal.Inc()
+			abs := resp.ServiceMs - resp.PredictedMs
+			if abs < 0 {
+				abs = -abs
+			}
+			n.met.predAbsErr.Observe(abs)
+			if resp.ServiceMs <= resp.PredictedMs+resp.PredErrMs {
+				n.met.predCovered.Inc()
+			}
+		}
+	}
+	if n.Tracer != nil {
+		arrivalMs := float64(start.Sub(n.t0).Microseconds()) / 1000
+		d := telemetry.Decision{
+			Policy:          "isn-live",
+			RequestID:       seq,
+			ArrivalMs:       arrivalMs,
+			PredictedMs:     resp.PredictedMs,
+			PredErrMs:       resp.PredErrMs,
+			InitialFreqGHz:  float64(plan.Initial),
+			CriticalID:      -1,
+			QueueDepth:      depth,
+			StartFreqGHz:    float64(plan.Initial),
+			StartMs:         arrivalMs,
+			FinishMs:        arrivalMs + latencyMs,
+			ServiceMs:       execMs,
+			ActualMs:        resp.ServiceMs,
+			LatencyMs:       latencyMs,
+			DeadlineSlackMs: budget - latencyMs,
+			Transitions:     transitions,
+			EnergyMJ:        energyMJ,
+			Violated:        latencyMs > budget,
+		}
+		if plan.HasBoost() {
+			d.BoostFreqGHz = float64(plan.Boost)
+			d.BoostAtMs = plan.BoostAt
+		}
+		n.Tracer.Emit(d)
+	}
+}
+
+// applyModel advances the shard's modeled DVFS state by one query: execute
+// the plan against the query's true work, counting the frequency transitions
+// it incurs and charging busy-core energy (W x ms = mJ) at each step.
+func (n *ISN) applyModel(plan core.Plan, work cpu.Work) (execMs, energyMJ float64, transitions int, totalMJ float64, seq int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f := plan.Initial
+	if f != n.modelFreq {
+		transitions++
+		n.modelFreq = f
+	}
+	firstMs := cpu.TimeFor(work, f)
+	if plan.HasBoost() && firstMs > plan.BoostAt {
+		// The boost step engaged: the remainder runs at the maximum.
+		w1 := cpu.WorkFor(plan.BoostAt, f)
+		execMs = plan.BoostAt + cpu.TimeFor(work-w1, plan.Boost)
+		energyMJ = n.power.CoreW(f, true)*plan.BoostAt +
+			n.power.CoreW(plan.Boost, true)*(execMs-plan.BoostAt)
+		transitions++
+		n.modelFreq = plan.Boost
+	} else {
+		execMs = firstMs
+		energyMJ = n.power.CoreW(f, true) * execMs
+	}
+	n.energyMJ += energyMJ
+	n.transitions += uint64(transitions)
+	n.seq++
+	return execMs, energyMJ, transitions, n.energyMJ, n.seq
+}
+
 // ServeHTTP implements the ISN's /search endpoint: enqueue the task on the
 // blocking queue and wait for the working thread (the Fig. 9 Callable +
 // Executor structure).
@@ -149,10 +304,14 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("no known term in %q", req.Query), http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	n.mu.Lock()
 	n.depth++
 	depth := n.depth
 	n.mu.Unlock()
+	if n.met != nil {
+		n.met.queueDepth.Set(float64(depth))
+	}
 
 	respCh := make(chan ISNResponse, 1)
 	select {
@@ -163,6 +322,7 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := <-respCh
 	resp.QueueDepth = depth
+	n.observe(resp, start, depth)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"gemini/internal/corpus"
+	"gemini/internal/cpu"
 	"gemini/internal/index"
 	"gemini/internal/search"
+	"gemini/internal/telemetry"
 )
 
 // testCluster builds nShards ISNs over distinct corpus shards plus their
@@ -205,6 +207,136 @@ func TestAggregatorPartialIgnoresStragglers(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
 		t.Errorf("partial aggregation waited %v for the straggler", elapsed)
+	}
+}
+
+// TestAggregatorStragglerCounted pins the partial-aggregation telemetry
+// contract: a shard still in flight at the cutoff is dropped — counted in
+// the per-shard straggler counter, not as an error and not as a violated
+// aggregation.
+func TestAggregatorStragglerCounted(t *testing.T) {
+	_, _, urls := testCluster(t, 2)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	defer slow.Close()
+
+	met := NewMetrics(nil)
+	agg := NewAggregator(append(urls, slow.URL), 10)
+	agg.Policy = Partial
+	agg.Quorum = 2
+	agg.Timeout = 500 * time.Millisecond
+	agg.BudgetMs = 10_000 // wall time in tests is noisy; keep the budget slack
+	agg.Instrument(met)
+	tr := telemetry.NewTracer(16)
+	agg.Tracer = tr
+
+	resp, err := agg.Search(context.Background(), "canada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsResponded != 2 {
+		t.Fatalf("responded = %d, want 2", resp.ShardsResponded)
+	}
+	if resp.Stragglers != 1 || resp.ShardErrors != 0 {
+		t.Fatalf("stragglers/errors = %d/%d, want 1/0", resp.Stragglers, resp.ShardErrors)
+	}
+
+	var buf bytes.Buffer
+	if err := met.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`gemini_agg_shard_stragglers_total{shard="2"} 1`,
+		`gemini_agg_shard_stragglers_total{shard="0"} 0`, // pre-registered at zero
+		`gemini_agg_shard_errors_total{shard="2"} 0`,     // dropped, not errored
+		`gemini_agg_partial_aggregations_total 1`,
+		`gemini_agg_requests_total 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+
+	ds := tr.Ring().Snapshot(0)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	if ds[0].Violated {
+		t.Error("straggler-dropped aggregation marked violated")
+	}
+	if ds[0].QueueDepth != 2 {
+		t.Errorf("decision shards responded = %d, want 2", ds[0].QueueDepth)
+	}
+}
+
+// TestISNObservability checks the shard-side instruments and decision trace
+// of the live path: per-query modeled DVFS decisions, prediction audit, and
+// the Prometheus families the CI smoke job greps for.
+func TestISNObservability(t *testing.T) {
+	spec := corpus.SmallSpec()
+	c := corpus.Generate(spec)
+	eng := search.NewEngine(index.Build(c), search.DefaultK)
+	isn := NewISN(0, c, eng, search.DefaultCostModel())
+	isn.Service = stubService{ms: 7.5}
+	isn.ErrPred = stubError{ms: 1.25}
+	met := NewMetrics(nil)
+	isn.Instrument(met)
+	tr := telemetry.NewTracer(32)
+	isn.Tracer = tr
+	isn.Start()
+	t.Cleanup(isn.Stop)
+	srv := httptest.NewServer(isn)
+	t.Cleanup(srv.Close)
+
+	const reqs = 5
+	for i := 0; i < reqs; i++ {
+		if resp, _ := postSearchTo(t, srv.URL, "canada"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	if got := tr.Emitted(); got != reqs {
+		t.Fatalf("decisions = %d, want %d", got, reqs)
+	}
+	for _, d := range tr.Ring().Snapshot(0) {
+		if d.PredictedMs != 7.5 || d.PredErrMs != 1.25 {
+			t.Fatalf("prediction view = %v/%v", d.PredictedMs, d.PredErrMs)
+		}
+		if d.ActualMs <= 0 || d.ServiceMs <= 0 || d.EnergyMJ <= 0 {
+			t.Fatalf("modeled outcome missing: %+v", d)
+		}
+		if d.InitialFreqGHz <= 0 || d.InitialFreqGHz > float64(cpu.FDefault) {
+			t.Fatalf("initial frequency = %v", d.InitialFreqGHz)
+		}
+		if d.Policy != "isn-live" {
+			t.Fatalf("policy = %q", d.Policy)
+		}
+	}
+	q := tr.Quality()
+	if q.N != reqs {
+		t.Errorf("quality audit n = %d, want %d", q.N, reqs)
+	}
+
+	var buf bytes.Buffer
+	if err := met.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`gemini_isn_requests_total{shard="0"} 5`,
+		`gemini_isn_request_latency_ms_count{shard="0"} 5`,
+		`gemini_isn_service_time_ms_count{shard="0"} 5`,
+		`gemini_isn_freq_transitions_total{shard="0"}`,
+		`gemini_isn_energy_mj{shard="0"}`,
+		`gemini_isn_queue_depth{shard="0"}`,
+		`gemini_isn_predictions_total{shard="0"} 5`,
+		`gemini_isn_predict_abs_err_ms_count{shard="0"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gemini/internal/cpu"
+	"gemini/internal/telemetry"
 )
 
 // benchWorkload builds a Poisson-ish stream of n requests.
@@ -40,6 +41,32 @@ func BenchmarkRunWithPowerSeries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		wl := benchWorkload(2000, int64(i))
+		b.StartTimer()
+		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
+// BenchmarkRunTelemetryDisabled / ...Enabled are the paired guard for the
+// decision-trace hook: the disabled path must cost one nil test per
+// lifecycle event and nothing more (see also
+// TestTelemetryDisabledAddsNoAllocsPerRequest).
+func BenchmarkRunTelemetryDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		b.StartTimer()
+		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
+func BenchmarkRunTelemetryEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		cfg := DefaultConfig()
+		cfg.Tracer = telemetry.NewTracer(256)
 		b.StartTimer()
 		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
 	}

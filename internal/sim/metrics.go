@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sort"
+
 	"gemini/internal/cpu"
 	"gemini/internal/stats"
 )
@@ -16,8 +18,15 @@ type Result struct {
 	// aggregator ignores stragglers, so the paper treats drops as harmless
 	// to quality, §III-A)
 
-	// Latencies of completed requests, ms, sorted ascending after the run
-	// (populated when Config.RecordLatencies is set).
+	// Latencies holds completion latencies of completed requests in ms,
+	// populated when Config.RecordLatencies is set.
+	//
+	// Contract: once a Result has been sealed (i.e. whenever sim.Run has
+	// returned it), Latencies is sorted ascending. TailLatencyMs and every
+	// percentile consumer (reports, CDF figures) rely on this; seal sorts
+	// defensively rather than depending on completion-recording order, so
+	// the contract holds even though recordCompletion appends in event
+	// order.
 	Latencies []float64
 
 	// Core-level energy metrics.
@@ -57,15 +66,20 @@ func (r *Result) recordDrop(req *Request) {
 	r.Dropped++
 }
 
+// seal finalizes the result: it fixes the energy metrics and establishes
+// the Latencies sorted-ascending contract (see the field comment) no matter
+// what order completions were recorded in.
 func (r *Result) seal(acc *cpu.EnergyAccumulator, transitions int, durationMs float64) {
 	r.EnergyMJ = acc.EnergyMJ()
 	r.AvgCorePowW = acc.AvgPowerW()
 	r.Utilization = acc.Utilization()
 	r.Transitions = transitions
 	r.DurationMs = durationMs
+	sort.Float64s(r.Latencies)
 }
 
 // TailLatencyMs returns the p-th percentile completion latency (0 if none).
+// It requires the sealed Result's sorted Latencies (see the field contract).
 func (r *Result) TailLatencyMs(p float64) float64 {
 	if len(r.Latencies) == 0 {
 		return 0

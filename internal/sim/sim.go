@@ -2,9 +2,9 @@ package sim
 
 import (
 	"math"
-	"sort"
 
 	"gemini/internal/cpu"
+	"gemini/internal/telemetry"
 )
 
 // Policy is the DVFS control surface: the simulator invokes these callbacks
@@ -46,6 +46,12 @@ type Config struct {
 	RecordFreqTrace bool
 	// RecordLatencies keeps every request latency (needed for CDFs).
 	RecordLatencies bool
+	// Tracer, when non-nil, receives one telemetry.Decision per request at
+	// completion (or drop): the predictors' view, the policy's plan (via
+	// TracePlan), and the executed outcome including per-request frequency
+	// transitions and core energy. A nil Tracer costs one pointer test per
+	// lifecycle event and zero allocations — see BenchmarkRunTelemetry*.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns the standard testbed configuration.
@@ -80,8 +86,14 @@ type Sim struct {
 	freq       cpu.Freq
 	stallUntil float64
 
-	queue   []*Request // queue[0] is executing once Started
-	nextArr int        // cursor into wl.Requests
+	// queue[qhead:] is the live FIFO; queue[qhead] is executing once
+	// Started. Popping advances qhead instead of re-slicing so the backing
+	// array's capacity is reused and steady-state operation allocates
+	// nothing per request (the telemetry-disabled benchmark guard relies on
+	// this).
+	queue   []*Request
+	qhead   int
+	nextArr int // cursor into wl.Requests
 
 	planned []plannedChange
 	timers  []timerEvent
@@ -100,6 +112,17 @@ type Sim struct {
 	series    []float64 // energy (mJ) per bucket, converted to W at the end
 
 	freqTrace []FreqSegment
+
+	// Decision-trace state (nil/zero unless cfg.Tracer is set). The head
+	// snapshot marks where the current head request's energy/transition
+	// attribution window begins; headSnapped records that an earlier hook
+	// (arrival-time planning, post-departure replanning) already opened the
+	// window so startHead must not reset it.
+	tr          *telemetry.Tracer
+	pending     map[*Request]*telemetry.Decision
+	headEnergy0 float64
+	headTrans0  int
+	headSnapped bool
 
 	res *Result
 }
@@ -122,7 +145,11 @@ func Run(cfg Config, wl *Workload, pol Policy) *Result {
 		freq:      cfg.StartFreq,
 		acc:       cpu.NewEnergyAccumulator(cfg.Power),
 		seriesRes: cfg.PowerSeriesResMs,
+		tr:        cfg.Tracer,
 		res:       newResult(pol.Name(), wl),
+	}
+	if s.tr != nil {
+		s.pending = make(map[*Request]*telemetry.Decision)
 	}
 	if s.seriesRes > 0 {
 		n := int(math.Ceil(wl.DurationMs/s.seriesRes)) + 1
@@ -158,7 +185,35 @@ func (s *Sim) Predictions() *Predictions { return s.wl.Preds }
 
 // Queue returns the live queue; index 0 is the executing request. Callers
 // must not mutate it.
-func (s *Sim) Queue() []*Request { return s.queue }
+func (s *Sim) Queue() []*Request { return s.queue[s.qhead:] }
+
+// qlen is the live queue length.
+func (s *Sim) qlen() int { return len(s.queue) - s.qhead }
+
+// head is the live queue's front request; callers must check qlen() > 0.
+func (s *Sim) head() *Request { return s.queue[s.qhead] }
+
+// popHead dequeues the front request, recycling the backing array: when the
+// queue drains the slice resets to its full capacity, and a long-lived
+// non-empty queue compacts once the dead prefix dominates. Either way the
+// steady state appends into existing capacity — no per-request allocation.
+func (s *Sim) popHead() {
+	s.queue[s.qhead] = nil // release the reference
+	s.qhead++
+	switch {
+	case s.qhead == len(s.queue):
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	case s.qhead >= 64 && s.qhead*2 >= len(s.queue):
+		n := copy(s.queue, s.queue[s.qhead:])
+		clearTail := s.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+}
 
 // SetFreq switches the core to f immediately; a change away from the
 // current frequency stalls the core for TdvfsMs.
@@ -203,7 +258,7 @@ func (s *Sim) Stall(ms float64) {
 // pays wakeMs of stall before any processing (sleep-state extension, §I).
 // Ignored while the queue is non-empty.
 func (s *Sim) Sleep(powerW, wakeMs float64) {
-	if len(s.queue) > 0 {
+	if s.qlen() > 0 {
 		return
 	}
 	s.sleeping = true
@@ -216,18 +271,88 @@ func (s *Sim) Sleep(powerW, wakeMs float64) {
 // frequency (§III-A); the aggregator would discard their late responses
 // anyway.
 func (s *Sim) Drop(r *Request) {
-	for i, q := range s.queue {
-		if q == r {
-			r.Dropped = true
-			r.FinishMs = s.now
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			s.res.recordDrop(r)
-			if i == 0 && len(s.queue) > 0 && !s.queue[0].Started {
-				s.startHead()
-			}
-			return
+	for i := s.qhead; i < len(s.queue); i++ {
+		if s.queue[i] != r {
+			continue
 		}
+		r.Dropped = true
+		r.FinishMs = s.now
+		wasHead := i == s.qhead
+		if wasHead {
+			s.popHead()
+		} else {
+			copy(s.queue[i:], s.queue[i+1:])
+			s.queue[len(s.queue)-1] = nil
+			s.queue = s.queue[:len(s.queue)-1]
+		}
+		s.res.recordDrop(r)
+		if s.tr != nil {
+			s.emitDecision(r)
+		}
+		if wasHead && s.qlen() > 0 && !s.head().Started {
+			s.startHead()
+		}
+		return
 	}
+}
+
+// TraceEnabled reports whether a decision tracer is attached; policies may
+// use it to skip building trace-only values.
+func (s *Sim) TraceEnabled() bool { return s.tr != nil }
+
+// TracePlan annotates r's pending decision record with the frequency plan
+// the policy just chose for it: the initial (eq. 5 / eq. 14) frequency, the
+// boost step (zero boost frequency or a non-finite boostAt means
+// single-step), and the critical request anchoring a group plan (-1 when the
+// request was planned alone). A no-op when tracing is disabled — the hook
+// costs policies one call with no allocation.
+func (s *Sim) TracePlan(r *Request, initial, boost cpu.Freq, boostAtMs float64, criticalID int) {
+	if s.tr == nil {
+		return
+	}
+	d := s.pending[r]
+	if d == nil {
+		return
+	}
+	d.InitialFreqGHz = float64(initial)
+	if boost > 0 && !math.IsInf(boostAtMs, 0) && boostAtMs > 0 {
+		d.BoostFreqGHz = float64(boost)
+		d.BoostAtMs = boostAtMs
+	} else {
+		d.BoostFreqGHz = 0
+		d.BoostAtMs = 0
+	}
+	d.CriticalID = criticalID
+}
+
+// emitDecision seals and emits r's decision record (tracing enabled only).
+func (s *Sim) emitDecision(r *Request) {
+	d := s.pending[r]
+	if d == nil {
+		d = &telemetry.Decision{RequestID: r.ID, ArrivalMs: r.ArrivalMs, CriticalID: -1}
+	} else {
+		delete(s.pending, r)
+	}
+	d.Policy = s.pol.Name()
+	d.PredictedMs = r.PredictedMs
+	d.PredErrMs = r.PredErrMs
+	d.FinishMs = r.FinishMs
+	d.LatencyMs = r.LatencyMs()
+	d.DeadlineSlackMs = r.DeadlineMs - r.FinishMs
+	d.Dropped = r.Dropped
+	d.Violated = r.Violated()
+	if r.Started {
+		d.StartMs = r.StartMs
+		d.ServiceMs = r.FinishMs - r.StartMs
+		d.Transitions = s.transitions - s.headTrans0
+		d.EnergyMJ = s.acc.EnergyMJ() - s.headEnergy0
+	}
+	if r.Done {
+		// The S* audit target: the request's true work expressed as service
+		// time at the default frequency (what eq. 1 predicts).
+		d.ActualMs = cpu.TimeFor(r.WorkTotal, cpu.FDefault)
+	}
+	s.tr.Emit(*d)
 }
 
 // --- engine ---------------------------------------------------------------
@@ -296,7 +421,7 @@ func (s *Sim) nextEvent() (kind int, at float64, idx int) {
 	// Timers beyond the workload horizon with nothing left to do would spin
 	// the loop forever in policies that always re-arm (Pegasus): stop once
 	// all requests have been served and the horizon is passed.
-	if kind == evTimer && s.nextArr >= len(s.wl.Requests) && len(s.queue) == 0 && at > s.wl.DurationMs {
+	if kind == evTimer && s.nextArr >= len(s.wl.Requests) && s.qlen() == 0 && at > s.wl.DurationMs {
 		return evNone, 0, -1
 	}
 	return kind, at, idx
@@ -305,12 +430,11 @@ func (s *Sim) nextEvent() (kind int, at float64, idx int) {
 // completionTime returns when the executing request will finish under the
 // current frequency and stall state (+Inf if the server is idle).
 func (s *Sim) completionTime() float64 {
-	if len(s.queue) == 0 || !s.queue[0].Started {
+	if s.qlen() == 0 || !s.head().Started {
 		return math.Inf(1)
 	}
-	head := s.queue[0]
 	t0 := math.Max(s.now, s.stallUntil)
-	return t0 + cpu.TimeFor(head.Remaining(), s.freq)
+	return t0 + cpu.TimeFor(s.head().Remaining(), s.freq)
 }
 
 // advanceTo moves simulated time forward, accruing head-request progress and
@@ -320,7 +444,7 @@ func (s *Sim) advanceTo(t float64) {
 		s.now = math.Max(s.now, t)
 		return
 	}
-	busy := len(s.queue) > 0
+	busy := s.qlen() > 0
 	// Segment 1: stalled (no progress).
 	segEnd := math.Min(t, math.Max(s.now, s.stallUntil))
 	if segEnd > s.now {
@@ -330,8 +454,8 @@ func (s *Sim) advanceTo(t float64) {
 	// Segment 2: executing.
 	if t > s.now {
 		dt := t - s.now
-		if busy && s.queue[0].Started {
-			s.queue[0].WorkDone += cpu.WorkFor(dt, s.freq)
+		if busy && s.head().Started {
+			s.head().WorkDone += cpu.WorkFor(dt, s.freq)
 		}
 		s.accrue(dt, busy)
 		s.now = t
@@ -371,35 +495,77 @@ func (s *Sim) accrue(dt float64, busy bool) {
 
 func (s *Sim) arrive(r *Request) {
 	s.queue = append(s.queue, r)
+	if s.tr != nil {
+		s.pending[r] = &telemetry.Decision{
+			RequestID:  r.ID,
+			ArrivalMs:  r.ArrivalMs,
+			QueueDepth: s.qlen(), // including this request
+			CriticalID: -1,
+		}
+	}
 	if s.sleeping {
 		s.Stall(s.sleepWakeMs)
 		s.sleeping = false
 	}
 	s.Stall(s.cfg.PredictOverheadMs)
+	// Snapshot before OnArrival: if this request starts immediately, the
+	// transitions its arrival-time plan incurs belong to it.
+	preEnergy, preTrans := 0.0, 0
+	if s.tr != nil {
+		preEnergy, preTrans = s.acc.EnergyMJ(), s.transitions
+	}
 	s.pol.OnArrival(s, r)
 	// OnArrival may have dropped the request.
-	if len(s.queue) > 0 && s.queue[0] == r && !r.Started && !r.Dropped {
+	if s.qlen() > 0 && s.head() == r && !r.Started && !r.Dropped {
+		if s.tr != nil {
+			s.headEnergy0, s.headTrans0, s.headSnapped = preEnergy, preTrans, true
+		}
 		s.startHead()
 	}
 }
 
 func (s *Sim) startHead() {
-	head := s.queue[0]
+	head := s.head()
 	head.Started = true
 	head.StartMs = s.now
+	if s.tr != nil {
+		// Snapshot before OnStart so the transitions and energy its plan
+		// application incurs are attributed to this request — unless an
+		// earlier hook already opened the attribution window.
+		if !s.headSnapped {
+			s.headEnergy0 = s.acc.EnergyMJ()
+			s.headTrans0 = s.transitions
+		}
+		s.headSnapped = false
+	}
 	s.pol.OnStart(s, head)
+	if s.tr != nil {
+		// OnStart may have dropped the head (and emitted its record).
+		if d := s.pending[head]; d != nil {
+			d.StartFreqGHz = float64(s.freq)
+		}
+	}
 }
 
 func (s *Sim) completeHead() {
-	head := s.queue[0]
+	head := s.head()
 	head.Done = true
 	head.FinishMs = s.now
 	// Clamp the float drift: the request is exactly finished.
 	head.WorkDone = head.WorkTotal
-	s.queue = s.queue[1:]
+	s.popHead()
 	s.res.recordCompletion(head)
+	if s.tr != nil {
+		s.emitDecision(head)
+		// With a successor already queued there is no idle gap: open its
+		// attribution window now, so replanning transitions the policy makes
+		// in OnDeparture count toward the next head.
+		if s.qlen() > 0 {
+			s.headEnergy0, s.headTrans0, s.headSnapped = s.acc.EnergyMJ(), s.transitions, true
+		}
+	}
 	s.pol.OnDeparture(s, head)
-	if len(s.queue) > 0 && !s.queue[0].Started {
+	if s.qlen() > 0 && !s.head().Started {
 		s.startHead()
 	}
 }
@@ -425,5 +591,4 @@ func (s *Sim) finish() {
 		s.res.PowerSeriesW = watts
 		s.res.PowerSeriesResMs = s.seriesRes
 	}
-	sort.Float64s(s.res.Latencies)
 }

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format — mount it at /metrics.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// decisionsPayload is the JSON body served by DecisionsHandler.
+type decisionsPayload struct {
+	Total     uint64          `json:"total"`
+	Decisions []Decision      `json:"decisions"`
+	Quality   QualitySnapshot `json:"prediction_quality"`
+}
+
+// DecisionsHandler serves the most recent decisions of a tracer as JSON —
+// mount it at /debug/decisions. The ?n= query parameter bounds the count
+// (default defaultN; n=0 returns everything retained).
+func DecisionsHandler(t *Tracer, defaultN int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := defaultN
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		payload := decisionsPayload{Decisions: []Decision{}}
+		if t != nil {
+			payload.Total = t.Ring().Total()
+			payload.Decisions = t.Ring().Snapshot(n)
+			payload.Quality = t.Quality()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "requests", L("shard", "0"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same instrument.
+	if reg.Counter("reqs_total", "requests", L("shard", "0")) != c {
+		t.Error("re-registration returned a new counter")
+	}
+	g := reg.Gauge("depth", "queue depth")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	reg.Gauge("m", "h")
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ms", "latency", []float64{1, 5, 10}, L("shard", "1"))
+	for _, v := range []float64{0.5, 1, 3, 7, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 61.5 {
+		t.Errorf("sum = %v, want 61.5", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{shard="1",le="1"} 2`,    // 0.5 and 1 (le is inclusive)
+		`lat_ms_bucket{shard="1",le="5"} 3`,    // + 3
+		`lat_ms_bucket{shard="1",le="10"} 4`,   // + 7
+		`lat_ms_bucket{shard="1",le="+Inf"} 5`, // + 50
+		`lat_ms_sum{shard="1"} 61.5`,
+		`lat_ms_count{shard="1"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Summary("svc_ms", "service", []float64{0.5, 0.95})
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if m := s.Mean(); m != 50.5 {
+		t.Errorf("mean = %v, want 50.5", m)
+	}
+	if q := s.Quantile(0.5); q < 40 || q > 61 {
+		t.Errorf("p50 = %v, want ~50", q)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `svc_ms{quantile="0.5"}`) {
+		t.Errorf("summary exposition missing quantile line:\n%s", buf.String())
+	}
+}
+
+func TestInstrumentsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "h")
+	g := reg.Gauge("g", "h")
+	h := reg.Histogram("h", "h", nil)
+	s := reg.Summary("s", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 50))
+				s.Observe(float64(i % 50))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 || s.Count() != 8000 {
+		t.Errorf("hist/summary counts = %d/%d, want 8000", h.Count(), s.Count())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(Decision{RequestID: i})
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d", r.Total())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 3 || got[0].RequestID != 2 || got[2].RequestID != 4 {
+		t.Errorf("snapshot = %+v, want ids 2,3,4", got)
+	}
+	if last := r.Snapshot(1); len(last) != 1 || last[0].RequestID != 4 {
+		t.Errorf("snapshot(1) = %+v", last)
+	}
+}
+
+func TestTracerEmitRingQualitySink(t *testing.T) {
+	tr := NewTracer(8)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	tr.SetSink(w)
+
+	// Two covered predictions, one not covered, one unpredicted (ignored by
+	// the quality audit).
+	tr.Emit(Decision{RequestID: 0, PredictedMs: 10, PredErrMs: 1, ActualMs: 10.5})
+	tr.Emit(Decision{RequestID: 1, PredictedMs: 8, PredErrMs: 2, ActualMs: 9})
+	tr.Emit(Decision{RequestID: 2, PredictedMs: 5, PredErrMs: 0.5, ActualMs: 9})
+	tr.Emit(Decision{RequestID: 3, ActualMs: 4})
+
+	if tr.Emitted() != 4 {
+		t.Fatalf("emitted = %d", tr.Emitted())
+	}
+	ds := tr.Ring().Snapshot(0)
+	if len(ds) != 4 || ds[0].Seq != 1 || ds[3].Seq != 4 {
+		t.Fatalf("ring = %+v", ds)
+	}
+	q := tr.Quality()
+	if q.N != 3 {
+		t.Fatalf("quality n = %d, want 3 (unpredicted excluded)", q.N)
+	}
+	if want := 2.0 / 3.0; q.CoverageRate < want-1e-9 || q.CoverageRate > want+1e-9 {
+		t.Errorf("coverage = %v, want %v", q.CoverageRate, want)
+	}
+	// abs errors: 0.5, 1, 4 → MAE 5.5/3
+	if mae := q.MAEMs; mae < 1.83 || mae > 1.84 {
+		t.Errorf("MAE = %v", mae)
+	}
+
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SinkErr() != nil {
+		t.Fatal(tr.SinkErr())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("sink lines = %d", len(lines))
+	}
+	var d Decision
+	if err := json.Unmarshal([]byte(lines[2]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.RequestID != 2 || d.PredictedMs != 5 {
+		t.Errorf("decoded = %+v", d)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Decision{})
+	if tr.Ring() != nil || tr.Emitted() != 0 || tr.SinkErr() != nil {
+		t.Error("nil tracer accessors not inert")
+	}
+	_ = tr.Quality()
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up", "h").Inc()
+	srv := httptest.NewServer(MetricsHandler(reg))
+	defer srv.Close()
+	resp := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(resp, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(resp.Body.String(), "up 1") {
+		t.Errorf("metrics body:\n%s", resp.Body.String())
+	}
+
+	tr := NewTracer(4)
+	tr.Emit(Decision{RequestID: 7, PredictedMs: 3, ActualMs: 3.2})
+	rec := httptest.NewRecorder()
+	DecisionsHandler(tr, 10).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/decisions", nil))
+	var payload struct {
+		Total     uint64     `json:"total"`
+		Decisions []Decision `json:"decisions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Total != 1 || len(payload.Decisions) != 1 || payload.Decisions[0].RequestID != 7 {
+		t.Errorf("payload = %+v", payload)
+	}
+
+	rec2 := httptest.NewRecorder()
+	DecisionsHandler(tr, 10).ServeHTTP(rec2, httptest.NewRequest("GET", "/debug/decisions?n=bogus", nil))
+	if rec2.Code != 400 {
+		t.Errorf("bad n: status %d", rec2.Code)
+	}
+}
