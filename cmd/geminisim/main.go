@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gemini/internal/harness"
@@ -20,16 +22,46 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (see -list)")
-		small    = flag.Bool("small", false, "use the fast small-scale platform")
-		list     = flag.Bool("list", false, "list experiment names and exit")
-		durScale = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
-		workers  = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids (1 = serial; results are identical)")
-		logPath  = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
-		logPol   = flag.String("log-policy", "Gemini", "policy for -log-decisions")
-		logTrace = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
+		exp        = flag.String("exp", "all", "experiment to run (see -list)")
+		small      = flag.Bool("small", false, "use the fast small-scale platform")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		durScale   = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
+		workers    = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids (1 = serial; results are identical)")
+		logPath    = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
+		logPol     = flag.String("log-policy", "Gemini", "policy for -log-decisions")
+		logTrace   = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
+		phaseRep   = flag.Bool("phase-report", false, "print the per-phase latency/energy waterfall table (every policy on -log-trace) and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		set := harness.NewExperimentSet(nil, 1)
@@ -76,6 +108,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prediction audit: MAE %.2f ms, p95 |err| %.2f ms, coverage %.1f%% (n=%d)\n",
 				q.MAEMs, q.P95Ms, q.CoverageRate*100, q.N)
 		}
+		return
+	}
+
+	if *phaseRep {
+		rep, err := p.PhaseReport(*logTrace, 60, 120_000*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(rep.String())
 		return
 	}
 

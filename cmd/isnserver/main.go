@@ -17,6 +17,8 @@
 //	curl -s localhost:8080/metrics          # Prometheus text, all shards
 //	curl -s localhost:8080/debug/decisions  # recent aggregations as JSON
 //	curl -s localhost:8081/debug/decisions  # ISN-0's per-query DVFS decisions
+//	curl -s localhost:8080/debug/traces     # stitched query waterfalls (-trace-sample)
+//	curl -s localhost:8080/debug/pprof/     # live profiling (also per ISN)
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"gemini/internal/corpus"
@@ -44,6 +47,8 @@ func main() {
 		predict = flag.Bool("predict", false, "train a linear service-time predictor per shard (S*/E* annotations)")
 		budget  = flag.Float64("budget", server.DefaultBudgetMs, "per-query latency budget in ms (DVFS plans, deadline slack)")
 		ringCap = flag.Int("decision-ring", 512, "decisions retained per /debug/decisions endpoint")
+		sample  = flag.Float64("trace-sample", 0, "head-based trace sampling rate in [0,1]: fraction of queries stitched into /debug/traces waterfalls (0 = off)")
+		spanCap = flag.Int("span-ring", 4096, "spans retained per /debug/traces endpoint")
 	)
 	flag.Parse()
 
@@ -78,18 +83,22 @@ func main() {
 		isn.Instrument(met)
 		tracer := telemetry.NewTracer(*ringCap)
 		isn.Tracer = tracer
+		spans := telemetry.NewSpanTracer(*spanCap)
+		isn.Spans = spans
 		isn.Start()
 
 		mux := http.NewServeMux()
 		mux.Handle("/search", isn)
 		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 		mux.Handle("/debug/decisions", telemetry.DecisionsHandler(tracer, 100))
+		mux.Handle("/debug/traces", telemetry.TracesHandler(spans, 20))
+		registerPprof(mux)
 		addr := fmt.Sprintf("127.0.0.1:%d", *port+1+s)
 		go func(a string, m *http.ServeMux) {
 			log.Fatal(http.ListenAndServe(a, m))
 		}(addr, mux)
 		urls = append(urls, "http://"+addr)
-		log.Printf("ISN-%d: %d docs on %s", s, spec.NumDocs, addr)
+		log.Printf("isn-%d: listen=%s docs=%d predictor=%s budget=%.1fms", s, addr, spec.NumDocs, predictorMode(*predict), *budget)
 	}
 
 	agg := server.NewAggregator(urls, *k)
@@ -102,15 +111,43 @@ func main() {
 	agg.Instrument(met)
 	aggTracer := telemetry.NewTracer(*ringCap)
 	agg.Tracer = aggTracer
+	aggSpans := telemetry.NewSpanTracer(*spanCap)
+	agg.Spans = aggSpans
+	agg.TraceSample = *sample
 
 	mux := http.NewServeMux()
 	mux.Handle("/search", agg)
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(aggTracer, 100))
+	mux.Handle("/debug/traces", telemetry.TracesHandler(aggSpans, 20))
+	registerPprof(mux)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	addr := fmt.Sprintf("127.0.0.1:%d", *port)
-	log.Printf("aggregator on %s (POST /search; GET /metrics, /debug/decisions)", addr)
+	policy := "wait-all"
+	if *partial {
+		policy = "partial"
+	}
+	log.Printf("aggregator: listen=%s shards=%d policy=%s predictor=%s trace-sample=%.2f budget=%.1fms", addr, *shards, policy, predictorMode(*predict), *sample, *budget)
 	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
+// predictorMode renders the -predict flag for the startup summary lines.
+func predictorMode(on bool) string {
+	if on {
+		return "linear+movavg"
+	}
+	return "none"
+}
+
+// registerPprof mounts the net/http/pprof handlers on a non-default mux
+// (the blank import only touches http.DefaultServeMux, which none of the
+// listeners use).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

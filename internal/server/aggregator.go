@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,9 @@ type AggResponse struct {
 	Results         []ShardResult `json:"results"`
 	ShardsAsked     int           `json:"shards_asked"`
 	ShardsResponded int           `json:"shards_responded"`
+	// TraceID is set when this query was head-sampled for tracing; its
+	// stitched waterfall is retrievable at /debug/traces under this ID.
+	TraceID string `json:"trace_id,omitempty"`
 	// Stragglers counts shards whose replies were still in flight when the
 	// aggregation returned (partial aggregation discards them, ref [2]).
 	Stragglers int `json:"stragglers"`
@@ -60,10 +64,31 @@ type Aggregator struct {
 	// the worst responding shard's S*/E* view against its modeled service
 	// time, and the end-to-end outcome. Served at /debug/decisions.
 	Tracer *telemetry.Tracer
+	// Spans, when non-nil, receives the stitched waterfall of each
+	// head-sampled query: the aggregator's query/shard/merge spans plus every
+	// responding ISN's span set, rebased onto the aggregator's timeline.
+	// Served at /debug/traces.
+	Spans *telemetry.SpanTracer
+	// TraceSample is the head-based sampling rate in [0, 1]: the fraction of
+	// queries that carry TraceHeader to the shards and get a stitched
+	// waterfall (1 = every query, 0 = tracing off even with Spans set).
+	TraceSample float64
 
 	mu        sync.Mutex
 	seq       int
+	sampleAcc float64   // sampling accumulator, guarded by mu
 	startedAt time.Time // trace time origin, set on the first aggregation
+}
+
+// shardReply is one shard's settled fan-out leg: the decoded response (or
+// error) plus the leg's send/receive offsets on the aggregator's timeline,
+// recorded in the fan-out goroutine so span assembly is race-free.
+type shardReply struct {
+	idx    int
+	resp   ISNResponse
+	err    error
+	sendMs float64 // offset of the shard request send, ms after Search start
+	recvMs float64 // offset of the decoded reply, ms after Search start
 }
 
 // NewAggregator builds an aggregator over the shard endpoints.
@@ -98,16 +123,12 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 		return nil, fmt.Errorf("server: aggregator has no shards")
 	}
 	start := time.Now()
+	seq, t0, traceID := a.begin(start)
 	body, err := json.Marshal(SearchRequest{Query: query, K: a.K})
 	if err != nil {
 		return nil, err
 	}
 
-	type shardReply struct {
-		idx  int
-		resp ISNResponse
-		err  error
-	}
 	replies := make(chan shardReply, len(a.ShardURLs))
 	var wg sync.WaitGroup
 	for i, url := range a.ShardURLs {
@@ -120,6 +141,10 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 				return
 			}
 			req.Header.Set("Content-Type", "application/json")
+			if traceID != "" {
+				req.Header.Set(TraceHeader, traceID)
+			}
+			sendMs := msBetween(start, time.Now())
 			httpResp, err := a.Client.Do(req)
 			if err != nil {
 				replies <- shardReply{idx: idx, err: err}
@@ -135,7 +160,7 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 				replies <- shardReply{idx: idx, err: err}
 				return
 			}
-			replies <- shardReply{idx: idx, resp: r}
+			replies <- shardReply{idx: idx, resp: r, sendMs: sendMs, recvMs: msBetween(start, time.Now())}
 		}(i, url)
 	}
 	go func() { wg.Wait(); close(replies) }()
@@ -147,8 +172,9 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 	deadline := time.NewTimer(a.Timeout)
 	defer deadline.Stop()
 
-	agg := &AggResponse{ShardsAsked: len(a.ShardURLs)}
+	agg := &AggResponse{ShardsAsked: len(a.ShardURLs), TraceID: traceID}
 	settled := make([]bool, len(a.ShardURLs)) // responded or errored
+	var got []shardReply                      // responding legs, for span assembly
 	var firstErr error
 collect:
 	for agg.ShardsResponded+agg.ShardErrors < len(a.ShardURLs) {
@@ -167,6 +193,7 @@ collect:
 					continue
 				}
 				agg.PerShard = append(agg.PerShard, rep.resp)
+				got = append(got, rep)
 				agg.ShardsResponded++
 			case <-deadline.C:
 				break collect // ignore stragglers
@@ -184,14 +211,17 @@ collect:
 				continue
 			}
 			agg.PerShard = append(agg.PerShard, rep.resp)
+			got = append(got, rep)
 			agg.ShardsResponded++
 		}
 	}
 	// Every shard that never settled was abandoned in flight: a straggler
 	// whose eventual reply partial aggregation discards (ref [2]).
+	var stragglers []int
 	for i, done := range settled {
 		if !done {
 			agg.Stragglers++
+			stragglers = append(stragglers, i)
 			if a.Metrics != nil {
 				a.Metrics.shardStraggler(i)
 			}
@@ -224,8 +254,101 @@ collect:
 		agg.Results = agg.Results[:a.K]
 	}
 	agg.LatencyMs = float64(time.Since(start).Microseconds()) / 1000
-	a.observe(agg, start)
+	if traceID != "" {
+		a.stitch(traceID, agg, got, stragglers)
+	}
+	a.observe(agg, seq, t0, start)
 	return agg, nil
+}
+
+// begin allocates the aggregation's sequence number and trace-time origin
+// and, when the head-based sampler selects this query, its trace ID.
+func (a *Aggregator) begin(start time.Time) (seq int, t0 time.Time, traceID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	seq = a.seq
+	if a.startedAt.IsZero() {
+		a.startedAt = start
+	}
+	t0 = a.startedAt
+	if a.Spans != nil && a.TraceSample > 0 {
+		a.sampleAcc += a.TraceSample
+		if a.sampleAcc >= 1 {
+			a.sampleAcc--
+			traceID = "agg-" + strconv.Itoa(seq)
+		}
+	}
+	return seq, t0, traceID
+}
+
+// stitch assembles the sampled query's waterfall: a root span for the whole
+// aggregation, one fan-out span per responding shard with the ISN's own span
+// set rebased onto the aggregator's timeline, a merge span for the rank/trim
+// tail, and one straggler span per abandoned shard recording the gap beyond
+// the fan-out deadline (ref [2]). All times are ms after Search start.
+func (a *Aggregator) stitch(traceID string, agg *AggResponse, got []shardReply, stragglers []int) {
+	budget := a.BudgetMs
+	if budget <= 0 {
+		budget = DefaultBudgetMs
+	}
+	spans := make([]telemetry.Span, 0, 2+3*len(got)+len(stragglers))
+	spans = append(spans, telemetry.Span{
+		TraceID: traceID, SpanID: "query", Name: "query",
+		StartMs: 0, EndMs: agg.LatencyMs,
+		Attrs: map[string]float64{
+			"shards_asked":      float64(agg.ShardsAsked),
+			"shards_responded":  float64(agg.ShardsResponded),
+			"stragglers":        float64(agg.Stragglers),
+			"deadline_slack_ms": budget - agg.LatencyMs,
+		},
+	})
+	var mergeStart float64
+	for _, rep := range got {
+		if rep.recvMs > mergeStart {
+			mergeStart = rep.recvMs
+		}
+		shardID := "shard-" + strconv.Itoa(rep.idx)
+		spans = append(spans, telemetry.Span{
+			TraceID: traceID, SpanID: shardID, ParentID: "query", Name: "shard",
+			StartMs: rep.sendMs, EndMs: rep.recvMs,
+			Attrs: map[string]float64{
+				"shard":      float64(rep.idx),
+				"service_ms": rep.resp.ServiceMs,
+			},
+		})
+		// The ISN reported its spans relative to its receipt of the request;
+		// rebase them by this leg's send offset so the whole waterfall shares
+		// one timeline (network/encode time shows up as the residual between
+		// the shard span and its children).
+		for _, sp := range rep.resp.Spans {
+			sp.StartMs += rep.sendMs
+			sp.EndMs += rep.sendMs
+			spans = append(spans, sp)
+		}
+	}
+	timeoutMs := float64(a.Timeout.Microseconds()) / 1000
+	for _, idx := range stragglers {
+		gap := agg.LatencyMs - timeoutMs
+		if gap < 0 {
+			gap = 0
+		}
+		spans = append(spans, telemetry.Span{
+			TraceID: traceID, SpanID: "straggler-" + strconv.Itoa(idx),
+			ParentID: "query", Name: "straggler",
+			StartMs: 0, EndMs: agg.LatencyMs,
+			Attrs: map[string]float64{
+				"shard":  float64(idx),
+				"gap_ms": gap,
+			},
+		})
+	}
+	spans = append(spans, telemetry.Span{
+		TraceID: traceID, SpanID: "merge", ParentID: "query", Name: "merge",
+		StartMs: mergeStart, EndMs: agg.LatencyMs,
+		Attrs: map[string]float64{"results": float64(len(agg.Results))},
+	})
+	a.Spans.EmitBatch(spans)
 }
 
 // shardError accounts one failed shard request.
@@ -240,8 +363,8 @@ func (a *Aggregator) shardError(idx int, firstErr *error, err error, agg *AggRes
 }
 
 // observe records a completed aggregation into the metrics bundle and the
-// decision trace.
-func (a *Aggregator) observe(agg *AggResponse, start time.Time) {
+// decision trace. seq and t0 were allocated by begin at Search start.
+func (a *Aggregator) observe(agg *AggResponse, seq int, t0 time.Time, start time.Time) {
 	if a.Metrics != nil {
 		a.Metrics.aggRequests.Inc()
 		a.Metrics.aggLatency.Observe(agg.LatencyMs)
@@ -256,14 +379,6 @@ func (a *Aggregator) observe(agg *AggResponse, start time.Time) {
 	if budget <= 0 {
 		budget = DefaultBudgetMs
 	}
-	a.mu.Lock()
-	a.seq++
-	seq := a.seq
-	if a.startedAt.IsZero() {
-		a.startedAt = start
-	}
-	t0 := a.startedAt
-	a.mu.Unlock()
 	arrivalMs := float64(start.Sub(t0).Microseconds()) / 1000
 	d := telemetry.Decision{
 		Policy:          "aggregator",

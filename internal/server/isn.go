@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,6 +47,11 @@ type ShardResult struct {
 	Score float32 `json:"score"`
 }
 
+// TraceHeader is the HTTP header carrying the aggregator's trace ID to each
+// shard; an ISN that receives it returns its span set in the response
+// envelope for the aggregator to stitch into the query waterfall.
+const TraceHeader = "X-Gemini-Trace"
+
 // ISNResponse is the JSON body of an ISN's reply.
 type ISNResponse struct {
 	Shard       int           `json:"shard"`
@@ -54,6 +60,15 @@ type ISNResponse struct {
 	PredictedMs float64       `json:"predicted_ms"` // S* (0 if no predictor)
 	PredErrMs   float64       `json:"pred_err_ms"`  // E* (0 if no predictor)
 	QueueDepth  int           `json:"queue_depth"`
+	// QueueWaitMs/ExecWallMs split the wall latency into the Fig. 9 phases:
+	// time on the blocking queue vs. time on the working thread.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	ExecWallMs  float64 `json:"exec_wall_ms,omitempty"`
+	// Spans is the shard's span set for this query, present only when the
+	// request carried TraceHeader. Times are ms relative to the ISN's
+	// receipt of the request; the aggregator rebases them onto its own
+	// timeline when stitching.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // ISN is one Index Serving Node: a single working thread draining a
@@ -77,6 +92,11 @@ type ISN struct {
 	// the predictors' view, the plan §III-A would have chosen, and the modeled
 	// outcome. Served at /debug/decisions by cmd/isnserver.
 	Tracer *telemetry.Tracer
+	// Spans, when non-nil, retains the span sets of traced queries (those
+	// whose request carried TraceHeader) for the shard's own /debug/traces
+	// endpoint; the same spans travel back in the response envelope either
+	// way.
+	Spans *telemetry.SpanTracer
 
 	queue   chan isnTask
 	started sync.Once
@@ -99,9 +119,10 @@ type ISN struct {
 }
 
 type isnTask struct {
-	query corpus.Query
-	k     int
-	resp  chan ISNResponse
+	query    corpus.Query
+	k        int
+	enqueued time.Time
+	resp     chan ISNResponse
 }
 
 // NewISN builds an ISN over its shard.
@@ -157,10 +178,12 @@ func (n *ISN) worker() {
 }
 
 func (n *ISN) execute(t isnTask) ISNResponse {
+	dequeued := time.Now()
 	ex := n.Engine.Search(t.query)
 	resp := ISNResponse{
-		Shard:     n.ShardID,
-		ServiceMs: cpu.TimeFor(n.Cost.WorkFor(ex.Stats), cpu.FDefault),
+		Shard:       n.ShardID,
+		ServiceMs:   cpu.TimeFor(n.Cost.WorkFor(ex.Stats), cpu.FDefault),
+		QueueWaitMs: msBetween(t.enqueued, dequeued),
 	}
 	k := t.k
 	if k <= 0 || k > len(ex.Results) {
@@ -176,18 +199,29 @@ func (n *ISN) execute(t isnTask) ISNResponse {
 			resp.PredErrMs = n.ErrPred.PredictErrMs(fv)
 		}
 	}
+	resp.ExecWallMs = msSince(dequeued)
 	return resp
 }
 
+// msSince returns the wall milliseconds elapsed since t.
+func msSince(t time.Time) float64 { return msBetween(t, time.Now()) }
+
+// msBetween returns b − a in milliseconds.
+func msBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a).Microseconds()) / 1000
+}
+
 // observe records the served query into the shard's instruments and decision
-// trace: the wall latency, the §III-A plan the modeled DVFS would have
-// executed for the predicted service time, and its energy and transitions.
-// A no-op unless the ISN is instrumented or traced.
-func (n *ISN) observe(resp ISNResponse, start time.Time, depth int) {
-	if n.met == nil && n.Tracer == nil {
+// trace — the wall latency, the §III-A plan the modeled DVFS would have
+// executed for the predicted service time, and its energy and transitions —
+// and, when the request carried a trace ID, attaches the shard's span set to
+// the response for the aggregator to stitch. A no-op unless the ISN is
+// instrumented or traced.
+func (n *ISN) observe(resp *ISNResponse, start time.Time, depth int, traceID string) {
+	if n.met == nil && n.Tracer == nil && traceID == "" {
 		return
 	}
-	latencyMs := float64(time.Since(start).Microseconds()) / 1000
+	latencyMs := msSince(start)
 	budget := n.BudgetMs
 	if budget <= 0 {
 		budget = DefaultBudgetMs
@@ -201,7 +235,8 @@ func (n *ISN) observe(resp ISNResponse, start time.Time, depth int) {
 		plan = n.planner.PlanSingle(0, budget, resp.PredictedMs, resp.PredErrMs)
 	}
 	work := cpu.WorkFor(resp.ServiceMs, cpu.FDefault)
-	execMs, energyMJ, transitions, totalMJ, seq := n.applyModel(plan, work)
+	mx := n.applyModel(plan, work)
+	execMs, energyMJ, transitions, totalMJ, seq := mx.execMs, mx.energyMJ, mx.transitions, mx.totalMJ, mx.seq
 
 	// Feed the Gemini-α style moving-average estimator, when attached, with
 	// the observed error magnitude so E* adapts to the live stream.
@@ -257,36 +292,100 @@ func (n *ISN) observe(resp ISNResponse, start time.Time, depth int) {
 		}
 		n.Tracer.Emit(d)
 	}
+	if traceID != "" {
+		resp.Spans = n.buildSpans(traceID, resp, plan, mx)
+		n.Spans.EmitBatch(resp.Spans)
+	}
+}
+
+// buildSpans assembles the shard's span set for one traced query: the real
+// queue-wait and working-thread phases (Fig. 9), plus the modeled DVFS
+// phases — the time the query would have spent at the planned initial
+// frequency f* and at the boost frequency — nested under the execution span.
+// Times are ms relative to the ISN's receipt of the request (span 0 starts
+// at 0); the aggregator rebases them when stitching.
+func (n *ISN) buildSpans(traceID string, resp *ISNResponse, plan core.Plan, mx modelExec) []telemetry.Span {
+	pfx := "isn" + strconv.Itoa(n.ShardID)
+	shardParent := "shard-" + strconv.Itoa(n.ShardID)
+	execStart := resp.QueueWaitMs
+	execEnd := execStart + resp.ExecWallMs
+	spans := []telemetry.Span{
+		{
+			TraceID: traceID, SpanID: pfx + "-queue", ParentID: shardParent, Name: "isn-queue",
+			StartMs: 0, EndMs: execStart,
+			Attrs: map[string]float64{"shard": float64(n.ShardID), "queue_depth": float64(resp.QueueDepth)},
+		},
+		{
+			TraceID: traceID, SpanID: pfx + "-exec", ParentID: shardParent, Name: "isn-exec",
+			StartMs: execStart, EndMs: execEnd,
+			Attrs: map[string]float64{"shard": float64(n.ShardID), "service_ms": resp.ServiceMs},
+		},
+		{
+			TraceID: traceID, SpanID: pfx + "-model-initial", ParentID: pfx + "-exec", Name: "isn-model-initial",
+			StartMs: execStart, EndMs: execStart + mx.initialMs,
+			Attrs: map[string]float64{"freq_ghz": float64(plan.Initial), "energy_mj": mx.initialMJ},
+		},
+	}
+	if mx.boosted {
+		spans = append(spans, telemetry.Span{
+			TraceID: traceID, SpanID: pfx + "-model-boost", ParentID: pfx + "-exec", Name: "isn-model-boost",
+			StartMs: execStart + mx.initialMs, EndMs: execStart + mx.execMs,
+			Attrs: map[string]float64{"freq_ghz": float64(plan.Boost), "energy_mj": mx.energyMJ - mx.initialMJ},
+		})
+	}
+	return spans
+}
+
+// modelExec is one query's outcome under the modeled DVFS plan: total
+// execution time and energy, the initial-phase/boost-phase split (for the
+// span waterfall), and the shard's cumulative state after the query.
+type modelExec struct {
+	execMs      float64
+	energyMJ    float64
+	initialMs   float64 // time in the initial (f*) step; == execMs when !boosted
+	initialMJ   float64
+	boosted     bool
+	transitions int
+	totalMJ     float64
+	seq         int
 }
 
 // applyModel advances the shard's modeled DVFS state by one query: execute
 // the plan against the query's true work, counting the frequency transitions
 // it incurs and charging busy-core energy (W x ms = mJ) at each step.
-func (n *ISN) applyModel(plan core.Plan, work cpu.Work) (execMs, energyMJ float64, transitions int, totalMJ float64, seq int) {
+func (n *ISN) applyModel(plan core.Plan, work cpu.Work) modelExec {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var mx modelExec
 	f := plan.Initial
 	if f != n.modelFreq {
-		transitions++
+		mx.transitions++
 		n.modelFreq = f
 	}
 	firstMs := cpu.TimeFor(work, f)
 	if plan.HasBoost() && firstMs > plan.BoostAt {
 		// The boost step engaged: the remainder runs at the maximum.
 		w1 := cpu.WorkFor(plan.BoostAt, f)
-		execMs = plan.BoostAt + cpu.TimeFor(work-w1, plan.Boost)
-		energyMJ = n.power.CoreW(f, true)*plan.BoostAt +
-			n.power.CoreW(plan.Boost, true)*(execMs-plan.BoostAt)
-		transitions++
+		mx.boosted = true
+		mx.initialMs = plan.BoostAt
+		mx.initialMJ = n.power.CoreW(f, true) * plan.BoostAt
+		mx.execMs = plan.BoostAt + cpu.TimeFor(work-w1, plan.Boost)
+		mx.energyMJ = mx.initialMJ +
+			n.power.CoreW(plan.Boost, true)*(mx.execMs-plan.BoostAt)
+		mx.transitions++
 		n.modelFreq = plan.Boost
 	} else {
-		execMs = firstMs
-		energyMJ = n.power.CoreW(f, true) * execMs
+		mx.execMs = firstMs
+		mx.initialMs = firstMs
+		mx.energyMJ = n.power.CoreW(f, true) * mx.execMs
+		mx.initialMJ = mx.energyMJ
 	}
-	n.energyMJ += energyMJ
-	n.transitions += uint64(transitions)
+	n.energyMJ += mx.energyMJ
+	n.transitions += uint64(mx.transitions)
 	n.seq++
-	return execMs, energyMJ, transitions, n.energyMJ, n.seq
+	mx.totalMJ = n.energyMJ
+	mx.seq = n.seq
+	return mx
 }
 
 // ServeHTTP implements the ISN's /search endpoint: enqueue the task on the
@@ -305,6 +404,7 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	traceID := r.Header.Get(TraceHeader)
 	n.mu.Lock()
 	n.depth++
 	depth := n.depth
@@ -315,14 +415,14 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	respCh := make(chan ISNResponse, 1)
 	select {
-	case n.queue <- isnTask{query: q, k: req.K, resp: respCh}:
+	case n.queue <- isnTask{query: q, k: req.K, enqueued: start, resp: respCh}:
 	case <-time.After(5 * time.Second):
 		http.Error(w, "queue full", http.StatusServiceUnavailable)
 		return
 	}
 	resp := <-respCh
 	resp.QueueDepth = depth
-	n.observe(resp, start, depth)
+	n.observe(&resp, start, depth, traceID)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -72,6 +72,32 @@ func BenchmarkRunTelemetryEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSpansDisabled / ...Enabled are the same paired guard for the
+// phase-span hook: with Config.Spans nil the per-request cost is one pointer
+// test (the Disabled numbers must match BenchmarkRunFixedPolicy; see also
+// TestSpansDisabledAddsNoAllocsPerRequest).
+func BenchmarkRunSpansDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		b.StartTimer()
+		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
+func BenchmarkRunSpansEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := benchWorkload(2000, int64(i))
+		cfg := DefaultConfig()
+		cfg.Spans = telemetry.NewSpanTracer(256)
+		b.StartTimer()
+		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	}
+}
+
 func BenchmarkDispatch(b *testing.B) {
 	wl := benchWorkload(10000, 1)
 	b.ResetTimer()

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strconv"
 
 	"gemini/internal/cpu"
 	"gemini/internal/telemetry"
@@ -52,6 +53,17 @@ type Config struct {
 	// transitions and core energy. A nil Tracer costs one pointer test per
 	// lifecycle event and zero allocations — see BenchmarkRunTelemetry*.
 	Tracer *telemetry.Tracer
+	// Spans, when non-nil, receives the per-request phase spans forming each
+	// request's waterfall: "queue" (enqueue→dispatch), "exec-initial"
+	// (dispatch at the planned initial frequency), and one "exec-boost" span
+	// per frequency change while the request held the core (the f_max
+	// catch-up phase of a two-step plan, or a group replan). Every span
+	// carries frequency and energy attributes; the request root span carries
+	// deadline slack. Emission is policy-agnostic — Baseline, Pegasus, Rubik
+	// and the Gemini variants produce comparable waterfalls. A nil SpanTracer
+	// follows the same contract as Tracer: one pointer test per lifecycle
+	// event, zero allocations.
+	Spans *telemetry.SpanTracer
 }
 
 // DefaultConfig returns the standard testbed configuration.
@@ -124,7 +136,25 @@ type Sim struct {
 	headTrans0  int
 	headSnapped bool
 
+	// Phase-span state (inert unless cfg.Spans is set). marks records the
+	// executing head request's frequency boundaries — one mark per phase
+	// start, with the energy meter reading at that instant — and is reused
+	// across heads. tracking gates boundary recording to the window between
+	// a head's OnStart returning and its completion/drop, so frequency
+	// changes made while planning a not-yet-started head don't split phases.
+	sp       *telemetry.SpanTracer
+	marks    []phaseMark
+	tracking bool
+
 	res *Result
+}
+
+// phaseMark is one phase boundary of the executing request: the moment a
+// frequency took effect and the cumulative core energy at that moment.
+type phaseMark struct {
+	at       float64
+	freq     cpu.Freq
+	energyMJ float64
 }
 
 // Run simulates the workload under the policy and returns the metrics.
@@ -146,6 +176,7 @@ func Run(cfg Config, wl *Workload, pol Policy) *Result {
 		acc:       cpu.NewEnergyAccumulator(cfg.Power),
 		seriesRes: cfg.PowerSeriesResMs,
 		tr:        cfg.Tracer,
+		sp:        cfg.Spans,
 		res:       newResult(pol.Name(), wl),
 	}
 	if s.tr != nil {
@@ -227,6 +258,21 @@ func (s *Sim) SetFreq(f cpu.Freq) {
 	if until > s.stallUntil {
 		s.stallUntil = until
 	}
+	if s.tracking {
+		s.markPhase()
+	}
+}
+
+// markPhase closes the executing request's current phase at the present
+// moment (span tracing enabled only). Several same-instant switches — clear
+// plan, set initial, re-plan at an arrival — collapse into one boundary: the
+// phase that matters is the one time actually passes in.
+func (s *Sim) markPhase() {
+	if n := len(s.marks); n > 0 && s.marks[n-1].at == s.now {
+		s.marks[n-1].freq = s.freq
+		return
+	}
+	s.marks = append(s.marks, phaseMark{at: s.now, freq: s.freq, energyMJ: s.acc.EnergyMJ()})
 }
 
 // PlanFreqChange schedules a frequency switch at the given absolute time.
@@ -288,6 +334,12 @@ func (s *Sim) Drop(r *Request) {
 		s.res.recordDrop(r)
 		if s.tr != nil {
 			s.emitDecision(r)
+		}
+		if s.sp != nil {
+			s.emitSpans(r)
+			if wasHead {
+				s.tracking = false
+			}
 		}
 		if wasHead && s.qlen() > 0 && !s.head().Started {
 			s.startHead()
@@ -353,6 +405,64 @@ func (s *Sim) emitDecision(r *Request) {
 		d.ActualMs = cpu.TimeFor(r.WorkTotal, cpu.FDefault)
 	}
 	s.tr.Emit(*d)
+}
+
+// emitSpans emits r's phase-span waterfall (span tracing enabled only): the
+// request root span, the queue-wait span, and — for a request that reached
+// the core — one execution span per frequency phase recorded in marks. The
+// phase durations partition [ArrivalMs, FinishMs] exactly, and the execution
+// phases' energy attributes sum to the energy the decision trace attributes
+// to the request (both invariants are asserted by TestPhaseSpansSumToLatency).
+func (s *Sim) emitSpans(r *Request) {
+	id := s.pol.Name() + "/" + strconv.Itoa(r.ID)
+	spans := make([]telemetry.Span, 0, 2+len(s.marks))
+	spans = append(spans, telemetry.Span{
+		TraceID: id, SpanID: "request", Name: "request",
+		StartMs: r.ArrivalMs, EndMs: r.FinishMs,
+		Attrs: map[string]float64{
+			"deadline_slack_ms": r.DeadlineMs - r.FinishMs,
+			"dropped":           boolAttr(r.Dropped),
+			"violated":          boolAttr(r.Violated()),
+		},
+	})
+	queueEnd := r.FinishMs // dropped before dispatch: all time was queue wait
+	if r.Started {
+		queueEnd = r.StartMs
+	}
+	spans = append(spans, telemetry.Span{
+		TraceID: id, SpanID: "queue", ParentID: "request", Name: "queue",
+		StartMs: r.ArrivalMs, EndMs: queueEnd,
+	})
+	if r.Started && s.tracking && len(s.marks) > 0 {
+		endEnergy := s.acc.EnergyMJ()
+		for i, m := range s.marks {
+			phaseEnd, phaseEndEnergy := r.FinishMs, endEnergy
+			if i+1 < len(s.marks) {
+				phaseEnd, phaseEndEnergy = s.marks[i+1].at, s.marks[i+1].energyMJ
+			}
+			name := "exec-initial"
+			if i > 0 {
+				name = "exec-boost"
+			}
+			spans = append(spans, telemetry.Span{
+				TraceID: id, SpanID: "exec-" + strconv.Itoa(i), ParentID: "request", Name: name,
+				StartMs: m.at, EndMs: phaseEnd,
+				Attrs: map[string]float64{
+					"freq_ghz":  float64(m.freq),
+					"energy_mj": phaseEndEnergy - m.energyMJ,
+				},
+			})
+		}
+	}
+	s.sp.EmitBatch(spans)
+}
+
+// boolAttr renders a bool as a span attribute value.
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // --- engine ---------------------------------------------------------------
@@ -545,6 +655,15 @@ func (s *Sim) startHead() {
 			d.StartFreqGHz = float64(s.freq)
 		}
 	}
+	if s.sp != nil && !head.Dropped {
+		// Open the phase window after OnStart applied its plan: no simulated
+		// time passes inside the callback, so the first mark sits exactly at
+		// StartMs with the plan's initial frequency, and any SetFreq calls
+		// the plan made do not split a zero-length phase (tracking was off).
+		s.marks = s.marks[:0]
+		s.marks = append(s.marks, phaseMark{at: head.StartMs, freq: s.freq, energyMJ: s.acc.EnergyMJ()})
+		s.tracking = true
+	}
 }
 
 func (s *Sim) completeHead() {
@@ -555,6 +674,10 @@ func (s *Sim) completeHead() {
 	head.WorkDone = head.WorkTotal
 	s.popHead()
 	s.res.recordCompletion(head)
+	if s.sp != nil {
+		s.emitSpans(head)
+		s.tracking = false
+	}
 	if s.tr != nil {
 		s.emitDecision(head)
 		// With a successor already queued there is no idle gap: open its

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The default latency buckets must resolve sub-millisecond phases (queue
+// waits and initial-frequency steps sit well under 1 ms at low load).
+func TestDefaultLatencyBucketsSubMillisecond(t *testing.T) {
+	subMs := 0
+	for _, b := range DefaultLatencyBuckets {
+		if b < 1 {
+			subMs++
+		}
+	}
+	if subMs < 3 {
+		t.Fatalf("only %d sub-ms default buckets: %v", subMs, DefaultLatencyBuckets)
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ms", "latency", nil)
+	h.Observe(0.07)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `le="0.1"} 1`) {
+		t.Errorf("0.07 ms observation not resolved by a sub-ms bucket:\n%s", buf.String())
+	}
+}
+
+// NewRegistryBuckets makes the nil-bounds default configurable per registry;
+// explicit bounds still win, and the given bounds are copied and sorted.
+func TestNewRegistryBuckets(t *testing.T) {
+	bounds := []float64{10, 1, 5} // deliberately unsorted
+	reg := NewRegistryBuckets(bounds)
+	bounds[0] = 99 // the registry must have copied, not aliased
+
+	h := reg.Histogram("h", "h", nil)
+	for _, v := range []float64{0.5, 3, 7, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="5"} 2`,
+		`h_bucket{le="10"} 3`,
+		`h_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="99"`) {
+		t.Error("registry aliased the caller's bounds slice")
+	}
+
+	// Explicit bounds override the registry default.
+	e := reg.Histogram("explicit", "e", []float64{2})
+	e.Observe(1)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `explicit_bucket{le="2"} 1`) {
+		t.Errorf("explicit bounds ignored:\n%s", buf.String())
+	}
+
+	// Nil/empty falls back to DefaultLatencyBuckets.
+	if def := NewRegistryBuckets(nil); len(def.defBuckets) != len(DefaultLatencyBuckets) {
+		t.Errorf("nil bounds: defBuckets = %v", def.defBuckets)
+	}
+}

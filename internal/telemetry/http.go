@@ -15,6 +15,40 @@ func MetricsHandler(reg *Registry) http.Handler {
 	})
 }
 
+// tracesPayload is the JSON body served by TracesHandler.
+type tracesPayload struct {
+	TotalSpans uint64      `json:"total_spans"`
+	Traces     []TraceView `json:"traces"`
+}
+
+// TracesHandler serves the most recent stitched traces of a span tracer as
+// JSON — mount it at /debug/traces. The ?n= query parameter bounds the trace
+// count (default defaultN; n=0 returns every retained trace).
+func TracesHandler(t *SpanTracer, defaultN int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := defaultN
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		payload := tracesPayload{Traces: []TraceView{}}
+		if t != nil {
+			payload.TotalSpans = t.Total()
+			if views := t.Traces(n); views != nil {
+				payload.Traces = views
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}
+
 // decisionsPayload is the JSON body served by DecisionsHandler.
 type decisionsPayload struct {
 	Total     uint64          `json:"total"`

@@ -75,8 +75,10 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // DefaultLatencyBuckets covers the repo's millisecond latency range: the
 // paper's budget is 40 ms, ISN service times average ~10 ms, and aggregator
-// round trips sit well under a second.
-var DefaultLatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 20, 40, 80, 160, 320, 640, 1280}
+// round trips sit well under a second. The sub-millisecond bounds exist for
+// the phase histograms — queue-wait spans on an unloaded ISN routinely sit
+// under 0.5 ms, which a coarser first bucket would collapse to one bin.
+var DefaultLatencyBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 20, 40, 80, 160, 320, 640, 1280}
 
 // Histogram is a streaming cumulative histogram with fixed upper bounds
 // (Prometheus "le" semantics: counts[i] observes x <= bounds[i], with an
@@ -194,11 +196,31 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+	// defBuckets are the histogram bounds used when Histogram is called with
+	// nil bounds — DefaultLatencyBuckets unless the registry was created with
+	// NewRegistryBuckets.
+	defBuckets []float64
 }
 
-// NewRegistry creates an empty registry.
+// NewRegistry creates an empty registry whose default histogram bounds are
+// DefaultLatencyBuckets.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return NewRegistryBuckets(nil)
+}
+
+// NewRegistryBuckets creates an empty registry with custom default histogram
+// bounds: every Histogram registered with nil bounds uses these instead of
+// DefaultLatencyBuckets (which a nil/empty argument selects). Bucket
+// boundaries are fixed per histogram at registration, so the place to widen
+// or refine them fleet-wide is registry creation.
+func NewRegistryBuckets(bounds []float64) *Registry {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Registry{families: make(map[string]*family), defBuckets: bs}
 }
 
 // labelKey renders labels into a canonical map key / exposition fragment.
@@ -255,10 +277,11 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 }
 
 // Histogram registers (or fetches) a histogram with the given upper bounds
-// (DefaultLatencyBuckets when nil).
+// (the registry's default bounds when nil — DefaultLatencyBuckets unless the
+// registry was created with NewRegistryBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	if bounds == nil {
-		bounds = DefaultLatencyBuckets
+		bounds = r.defBuckets
 	}
 	return r.register(name, help, kindHistogram, labels, func() any { return newHistogram(bounds) }).(*Histogram)
 }

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Span is one named phase of a traced query's lifetime: a [StartMs, EndMs)
+// window on the trace's timeline plus numeric attributes (frequency, energy,
+// deadline slack, shard IDs). Spans sharing a TraceID form one query's
+// waterfall; ParentID links a phase to its enclosing span so the tree can be
+// re-assembled after stitching (the aggregator nests ISN spans under its
+// per-shard fan-out spans, the simulator nests phase spans under the request
+// root).
+//
+// Times are milliseconds on the emitter's own clock: the simulator uses
+// simulated time, the live servers use wall time relative to the trace's
+// origin (the aggregator rebases each shard's spans onto its own timeline
+// when stitching, see server.Aggregator).
+type Span struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+
+	// Attrs carries the phase's numeric attributes (freq_ghz, energy_mj,
+	// deadline_slack_ms, shard, ...). Nil is valid: not every phase has
+	// attributes, and the zero value keeps disabled-path emission
+	// allocation-free.
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// DurationMs returns the span's length.
+func (s Span) DurationMs() float64 { return s.EndMs - s.StartMs }
+
+// Attr returns the named attribute (0 when absent).
+func (s Span) Attr(name string) float64 { return s.Attrs[name] }
+
+// SpanTracer is the span sink handed to the simulator (sim.Config.Spans) or
+// a live server: emitted spans are retained in a bounded ring, oldest
+// evicted first.
+//
+// A nil *SpanTracer is valid everywhere and means "tracing disabled"; all
+// methods are nil-safe, so emitters hold exactly one pointer test on the hot
+// path and the disabled path allocates nothing (see
+// TestNilSpanTracerAllocFree and the sim benchmark pair).
+type SpanTracer struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewSpanTracer creates a tracer retaining up to capacity spans (min 1).
+func NewSpanTracer(capacity int) *SpanTracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanTracer{buf: make([]Span, capacity)}
+}
+
+// Emit records one span. Safe for concurrent use; nil-safe.
+func (t *SpanTracer) Emit(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.push(sp)
+	t.mu.Unlock()
+}
+
+// EmitBatch records a trace's spans in one critical section, so spans of the
+// same trace stay adjacent in the ring even under concurrent emitters.
+// Nil-safe; an empty batch is a no-op.
+func (t *SpanTracer) EmitBatch(sps []Span) {
+	if t == nil || len(sps) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, sp := range sps {
+		t.push(sp)
+	}
+	t.mu.Unlock()
+}
+
+// push appends under t.mu.
+func (t *SpanTracer) push(sp Span) {
+	t.buf[t.next] = sp
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+}
+
+// Total returns the number of spans ever emitted.
+func (t *SpanTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns up to n of the most recent spans, oldest first (all
+// retained spans when n <= 0). Nil-safe (returns nil).
+func (t *SpanTracer) Snapshot(n int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Span, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Spans returns every retained span, oldest first.
+func (t *SpanTracer) Spans() []Span { return t.Snapshot(0) }
+
+// TraceView is one stitched trace: every retained span sharing a TraceID,
+// in emission order, with the trace's overall time window.
+type TraceView struct {
+	TraceID    string  `json:"trace_id"`
+	StartMs    float64 `json:"start_ms"`
+	EndMs      float64 `json:"end_ms"`
+	DurationMs float64 `json:"duration_ms"`
+	Spans      []Span  `json:"spans"`
+}
+
+// Traces groups the retained spans by TraceID (ordered by each trace's first
+// retained span) and returns the most recent maxTraces of them (all when
+// maxTraces <= 0). Traces whose early spans were already evicted from the
+// ring appear truncated — the bound is on spans, not traces. Nil-safe.
+func (t *SpanTracer) Traces(maxTraces int) []TraceView {
+	spans := t.Snapshot(0)
+	if len(spans) == 0 {
+		return nil
+	}
+	idx := make(map[string]int, 16)
+	var views []TraceView
+	for _, sp := range spans {
+		i, ok := idx[sp.TraceID]
+		if !ok {
+			i = len(views)
+			idx[sp.TraceID] = i
+			views = append(views, TraceView{TraceID: sp.TraceID, StartMs: sp.StartMs, EndMs: sp.EndMs})
+		}
+		v := &views[i]
+		if sp.StartMs < v.StartMs {
+			v.StartMs = sp.StartMs
+		}
+		if sp.EndMs > v.EndMs {
+			v.EndMs = sp.EndMs
+		}
+		v.Spans = append(v.Spans, sp)
+	}
+	for i := range views {
+		views[i].DurationMs = views[i].EndMs - views[i].StartMs
+	}
+	if maxTraces > 0 && len(views) > maxTraces {
+		views = views[len(views)-maxTraces:]
+	}
+	return views
+}
+
+// GroupSpansByTrace buckets spans by TraceID preserving within-trace order —
+// the offline-analysis helper behind the harness waterfall tables. The
+// returned IDs are in first-appearance order.
+func GroupSpansByTrace(spans []Span) (ids []string, byTrace map[string][]Span) {
+	byTrace = make(map[string][]Span)
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.TraceID]; !ok {
+			ids = append(ids, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	return ids, byTrace
+}
+
+// SortSpans orders spans by start time (ties: longer first, then by name) —
+// waterfall display order.
+func SortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartMs != spans[j].StartMs {
+			return spans[i].StartMs < spans[j].StartMs
+		}
+		if spans[i].EndMs != spans[j].EndMs {
+			return spans[i].EndMs > spans[j].EndMs
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}

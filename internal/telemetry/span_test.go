@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func spanN(trace string, i int, start, end float64) Span {
+	return Span{
+		TraceID: trace, SpanID: "s" + strconv.Itoa(i), Name: "phase",
+		StartMs: start, EndMs: end,
+	}
+}
+
+func TestSpanTracerRingEviction(t *testing.T) {
+	tr := NewSpanTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(spanN("t", i, float64(i), float64(i+1)))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("retained = %d", len(got))
+	}
+	for i, s := range got {
+		if want := "s" + strconv.Itoa(6+i); s.SpanID != want {
+			t.Errorf("span %d = %s, want %s (oldest-first)", i, s.SpanID, want)
+		}
+	}
+	if snap := tr.Snapshot(2); len(snap) != 2 || snap[1].SpanID != "s9" {
+		t.Errorf("Snapshot(2) = %+v", snap)
+	}
+}
+
+func TestSpanTracerTraces(t *testing.T) {
+	tr := NewSpanTracer(64)
+	tr.EmitBatch([]Span{spanN("a", 0, 0, 5), spanN("a", 1, 1, 3)})
+	tr.EmitBatch([]Span{spanN("b", 0, 10, 12)})
+	views := tr.Traces(0)
+	if len(views) != 2 {
+		t.Fatalf("traces = %d", len(views))
+	}
+	a := views[0]
+	if a.TraceID != "a" || a.StartMs != 0 || a.EndMs != 5 || a.DurationMs != 5 || len(a.Spans) != 2 {
+		t.Errorf("trace a view = %+v", a)
+	}
+	// maxTraces keeps the most recent traces.
+	if views = tr.Traces(1); len(views) != 1 || views[0].TraceID != "b" {
+		t.Errorf("Traces(1) = %+v", views)
+	}
+}
+
+func TestGroupSpansByTraceOrder(t *testing.T) {
+	ids, byTrace := GroupSpansByTrace([]Span{
+		spanN("x", 0, 0, 1), spanN("y", 0, 0, 1), spanN("x", 1, 1, 2),
+	})
+	if len(ids) != 2 || ids[0] != "x" || ids[1] != "y" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if len(byTrace["x"]) != 2 || byTrace["x"][1].SpanID != "s1" {
+		t.Errorf("trace x spans = %+v", byTrace["x"])
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	spans := []Span{
+		{SpanID: "c", Name: "c", StartMs: 2, EndMs: 3},
+		{SpanID: "b", Name: "b", StartMs: 0, EndMs: 1},
+		{SpanID: "a", Name: "a", StartMs: 0, EndMs: 5},
+	}
+	SortSpans(spans)
+	if spans[0].SpanID != "a" || spans[1].SpanID != "b" || spans[2].SpanID != "c" {
+		t.Errorf("order = %s %s %s", spans[0].SpanID, spans[1].SpanID, spans[2].SpanID)
+	}
+}
+
+// TestNilSpanTracerAllocFree proves the disabled path is allocation-free:
+// every method of a nil *SpanTracer must return without allocating.
+func TestNilSpanTracerAllocFree(t *testing.T) {
+	var tr *SpanTracer
+	sp := spanN("t", 0, 0, 1)
+	batch := []Span{sp}
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Emit(sp)
+		tr.EmitBatch(batch)
+		_ = tr.Total()
+		_ = tr.Snapshot(4)
+		_ = tr.Traces(4)
+	}); n != 0 {
+		t.Errorf("nil tracer allocates %.1f per call set", n)
+	}
+}
+
+// TestSpanTracerConcurrentEmit exercises the tracer under concurrent
+// emitters (run with -race): batches from distinct goroutines must stay
+// internally adjacent and nothing may be lost or torn.
+func TestSpanTracerConcurrentEmit(t *testing.T) {
+	const workers, traces = 8, 50
+	tr := NewSpanTracer(workers * traces * 3)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < traces; i++ {
+				id := "w" + strconv.Itoa(w) + "-" + strconv.Itoa(i)
+				tr.EmitBatch([]Span{spanN(id, 0, 0, 2), spanN(id, 1, 0, 1)})
+				tr.Emit(spanN(id, 2, 1, 2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if want := uint64(workers * traces * 3); tr.Total() != want {
+		t.Fatalf("total = %d, want %d", tr.Total(), want)
+	}
+	spans := tr.Spans()
+	// EmitBatch holds the lock across the batch: the two batch spans of any
+	// trace must be adjacent in the ring.
+	for i := 0; i < len(spans); i++ {
+		if spans[i].SpanID == "s0" {
+			if i+1 >= len(spans) || spans[i+1].TraceID != spans[i].TraceID || spans[i+1].SpanID != "s1" {
+				t.Fatalf("batch torn at %d: %+v", i, spans[i])
+			}
+		}
+	}
+	ids, byTrace := GroupSpansByTrace(spans)
+	if len(ids) != workers*traces {
+		t.Fatalf("traces = %d", len(ids))
+	}
+	for _, id := range ids {
+		if len(byTrace[id]) != 3 {
+			t.Errorf("trace %s has %d spans", id, len(byTrace[id]))
+		}
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewSpanTracer(64)
+	tr.EmitBatch([]Span{spanN("q1", 0, 0, 4), spanN("q1", 1, 0, 2)})
+	tr.EmitBatch([]Span{spanN("q2", 0, 5, 9)})
+
+	h := TracesHandler(tr, 16)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var payload struct {
+		TotalSpans uint64      `json:"total_spans"`
+		Traces     []TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.TotalSpans != 3 || len(payload.Traces) != 2 {
+		t.Fatalf("payload = %+v", payload)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) != 1 || payload.Traces[0].TraceID != "q2" {
+		t.Fatalf("n=1 payload = %+v", payload)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=-2", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status %d", rec.Code)
+	}
+
+	// A nil tracer serves an empty payload rather than panicking.
+	rec = httptest.NewRecorder()
+	TracesHandler(nil, 16).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.TotalSpans != 0 || len(payload.Traces) != 0 {
+		t.Errorf("nil-tracer payload = %+v", payload)
+	}
+}
