@@ -1,0 +1,392 @@
+// Command geminivet is the driver for the gemini lint suite
+// (internal/lint): nodeterminism, hotpath, unitsafety, freqdomain.
+//
+// It speaks go vet's vettool protocol, so the usual invocation is
+//
+//	go build -o bin/geminivet ./cmd/geminivet
+//	go vet -vettool=$PWD/bin/geminivet ./...
+//
+// in which mode cmd/go calls it once per package with a vet.cfg describing
+// the compiled package (file list, import map, export data), exactly like
+// golang.org/x/tools' unitchecker — re-implemented here on the standard
+// library because the build image has no module proxy.
+//
+// It also runs standalone, loading packages from source:
+//
+//	geminivet ./...
+//	geminivet -hotpath ./internal/sim ./internal/cpu
+//
+// Per-analyzer boolean flags select a subset; with none set, the full suite
+// runs. Diagnostics go to stderr as file:line:col: messages; the exit status
+// is 2 when any diagnostic is reported, matching go vet.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gemini/internal/lint"
+	"gemini/internal/lint/analysis"
+	"gemini/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// enabled maps analyzer name to its selection flag.
+var enabled = map[string]*bool{}
+
+func run() int {
+	flag.Usage = usage
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the go command's cache key)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, false, firstLine(a.Doc))
+	}
+	flag.Parse()
+
+	if *printFlags {
+		emitFlagDefs()
+		return 0
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnitchecker(args[0])
+	}
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	return runStandalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: geminivet [analyzer flags] <packages>|<vet.cfg>\n\nAnalyzers:\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(os.Stderr, "  -%s\n\t%s\n", a.Name, firstLine(a.Doc))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// selected returns the analyzers to run: the flagged subset, or all.
+func selected() []*analysis.Analyzer {
+	var subset []*analysis.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			subset = append(subset, a)
+		}
+	}
+	if len(subset) == 0 {
+		return lint.All()
+	}
+	return subset
+}
+
+// versionFlag implements -V=full: the go command hashes this output into its
+// cache key, so it embeds a digest of the executable — rebuilding geminivet
+// invalidates cached vet results.
+type versionFlag struct{}
+
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) IsBoolFlag() bool { return true }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), sha256.Sum256(data))
+	os.Exit(0)
+	return nil
+}
+
+// emitFlagDefs answers `geminivet -flags` with the JSON schema cmd/go uses
+// to validate pass-through vet flags.
+func emitFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	for _, a := range lint.All() {
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, _ := json.MarshalIndent(defs, "", "\t")
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg (see
+// cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one compiled package described by a vet.cfg.
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// geminivet keeps no cross-package facts, but the protocol requires the
+	// vetx output to exist for the go command's action cache.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("geminivet: no facts\n"), 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the compiler's export data: ImportMap takes
+	// import paths to canonical package paths, PackageFile takes those to
+	// .a/export files readable by the gc importer.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	info := newTypesInfo()
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" && strings.HasPrefix(cfg.GoVersion, "go") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fatal(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
+	}
+
+	// Point the hotpath annotation oracle at the module so cross-package
+	// callee annotations resolve from source.
+	if root, err := load.FindModuleRoot(cfg.Dir); err == nil {
+		lint.SetModuleInfo(root, cfg.ModulePath)
+	}
+
+	n := analyze(fset, files, pkg, info)
+	writeVetx()
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads packages from source (no go vet in front).
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := load.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	lint.SetModuleInfo(loader.ModuleRoot, loader.ModulePath)
+
+	paths, err := expandPatterns(loader, wd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, ip := range paths {
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			fatal(err)
+		}
+		total += analyze(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo)
+	}
+	if total > 0 {
+		return 2
+	}
+	return 0
+}
+
+// expandPatterns resolves go-style package patterns (dir, ./dir, dir/...)
+// against the module.
+func expandPatterns(loader *load.Loader, wd string, patterns []string) ([]string, error) {
+	all, err := loader.ListPackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(ip string) {
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base := rest
+			if base == "." || base == "" {
+				base = wd
+			}
+			prefix, err := loader.ImportPathFor(absJoin(wd, base))
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, ip := range all {
+				if ip == prefix || strings.HasPrefix(ip, prefix+"/") {
+					add(ip)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("no packages match %q", pat)
+			}
+			continue
+		}
+		ip, err := loader.ImportPathFor(absJoin(wd, pat))
+		if err != nil {
+			return nil, err
+		}
+		add(ip)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func absJoin(wd, p string) string {
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(wd, p)
+}
+
+// analyze runs the selected analyzers over one package, printing
+// diagnostics to stderr; returns the diagnostic count.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) int {
+	n := 0
+	for _, a := range selected() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				p := fset.Position(d.Pos)
+				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", p, d.Message, d.Analyzer)
+				n++
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("%s: %w", a.Name, err))
+		}
+	}
+	return n
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geminivet:", err)
+	os.Exit(1)
+}

@@ -34,6 +34,10 @@ const (
 	// boosted frequency f_b and the frequency service-time predictions are
 	// conditioned on (paper eq. 1).
 	FDefault Freq = 2.7
+	// FLow is the low "cruise" gear used by epoch-style controllers (EETL,
+	// paper ref [16], starts every request here before boosting): a
+	// mid-ladder level trading service time for cubic dynamic-power savings.
+	FLow Freq = 1.6
 	// TdvfsMs is the constant CPU stall incurred by a frequency transition
 	// (paper §III-A), folded together with the ~40 µs user-space sysfs write
 	// overhead reported in §V.
@@ -42,6 +46,8 @@ const (
 
 // TimeFor returns the time in ms needed to complete w units of work at
 // frequency f.
+//
+//gemini:hotpath
 func TimeFor(w Work, f Freq) float64 {
 	if f <= 0 {
 		return math.Inf(1)
@@ -50,6 +56,8 @@ func TimeFor(w Work, f Freq) float64 {
 }
 
 // WorkFor returns the work completed in tMs milliseconds at frequency f.
+//
+//gemini:hotpath
 func WorkFor(tMs float64, f Freq) Work {
 	return Work(tMs * float64(f))
 }
@@ -70,6 +78,7 @@ func NewLadder(levels []Freq) *Ladder {
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	out := ls[:1]
 	for _, f := range ls[1:] {
+		//gemini:allow floatcmp -- deduplicating identical ladder entries; DVFS states are exact discrete values, not computed
 		if f != out[len(out)-1] {
 			out = append(out, f)
 		}
@@ -140,6 +149,7 @@ func (l *Ladder) StepUp(f Freq) Freq {
 // Contains reports whether f is exactly a ladder level.
 func (l *Ladder) Contains(f Freq) bool {
 	i := sort.Search(len(l.levels), func(i int) bool { return l.levels[i] >= f })
+	//gemini:allow floatcmp -- membership is exact by design: callers must pass a value taken from the ladder
 	return i < len(l.levels) && l.levels[i] == f
 }
 

@@ -42,18 +42,24 @@ func DefaultPowerModel() *PowerModel {
 
 // Voltage returns the modeled operating voltage at frequency f, linearly
 // interpolated (and linearly extrapolated outside [FMin, FMax]).
+//
+//gemini:hotpath
 func (m *PowerModel) Voltage(f Freq) float64 {
 	frac := (float64(f) - float64(FMin)) / (float64(FMax) - float64(FMin))
 	return m.VMin + (m.VMax-m.VMin)*frac
 }
 
 // DynW returns the full-activity dynamic power of one core at frequency f.
+//
+//gemini:hotpath
 func (m *PowerModel) DynW(f Freq) float64 {
 	v := m.Voltage(f)
 	return m.DynCoeff * float64(f) * v * v
 }
 
 // CoreW returns the power of a single core at frequency f, active or idle.
+//
+//gemini:hotpath
 func (m *PowerModel) CoreW(f Freq, active bool) float64 {
 	act := m.IdleActivity
 	if active {
@@ -103,6 +109,8 @@ func NewEnergyAccumulator(m *PowerModel) *EnergyAccumulator {
 
 // Accumulate charges dtMs milliseconds at frequency f with the given
 // activity. Negative intervals are ignored.
+//
+//gemini:hotpath
 func (e *EnergyAccumulator) Accumulate(dtMs float64, f Freq, active bool) {
 	if dtMs <= 0 {
 		return
@@ -116,6 +124,8 @@ func (e *EnergyAccumulator) Accumulate(dtMs float64, f Freq, active bool) {
 
 // AccumulatePower charges dtMs at an explicit power draw, bypassing the
 // frequency model — used for C-state residency in the sleep-state extension.
+//
+//gemini:hotpath
 func (e *EnergyAccumulator) AccumulatePower(dtMs, powerW float64, active bool) {
 	if dtMs <= 0 {
 		return
@@ -128,6 +138,8 @@ func (e *EnergyAccumulator) AccumulatePower(dtMs, powerW float64, active bool) {
 }
 
 // EnergyMJ returns the accumulated core energy in millijoules (W·ms).
+//
+//gemini:hotpath
 func (e *EnergyAccumulator) EnergyMJ() float64 { return e.energyMJ }
 
 // AvgPowerW returns the time-averaged core power in watts.

@@ -1,0 +1,120 @@
+// Package lint hosts the geminivet analyzer suite: domain-specific static
+// checks enforcing the repository's headline invariants — deterministic
+// simulation (byte-identical serial-vs-parallel reports), zero-allocation
+// hot paths when telemetry is disabled, unit-suffix and float-comparison
+// hygiene, and DVFS plans built only from validated frequency levels.
+//
+// Directives recognized in source comments:
+//
+//	//gemini:hotpath
+//	    On a function's doc comment: the function is part of the
+//	    per-request fast path and is policed by the hotpath analyzer.
+//	//gemini:allow <check> -- <reason>
+//	    On (or immediately above) an offending line: suppress the named
+//	    check (floatcmp, units, maprange, freqliteral, hotpath) there.
+//	    The reason is mandatory by convention and enforced in review.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"gemini/internal/lint/analysis"
+)
+
+// HotpathDirective marks a function as allocation-policed.
+const HotpathDirective = "//gemini:hotpath"
+
+// allowPrefix introduces a per-line suppression.
+const allowPrefix = "//gemini:allow "
+
+// hasDirective reports whether the comment group carries the exact directive
+// (directives are whole-line comments with no leading space, per Go
+// convention, and survive in Doc.List even though doc.Text strips them).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex records //gemini:allow suppressions by file and line.
+type allowIndex map[string]map[int][]string
+
+// buildAllowIndex scans every comment of the pass.
+func buildAllowIndex(pass *analysis.Pass) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, strings.TrimSpace(allowPrefix))
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				key := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					key = rest[:i]
+				}
+				p := pass.Position(c.Pos())
+				m := idx[p.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], key)
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a suppression for check covers pos: an allow
+// comment on the same line or on the line directly above.
+func (idx allowIndex) allows(pass *analysis.Pass, pos token.Pos, check string) bool {
+	p := pass.Position(pos)
+	m := idx[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, key := range m[line] {
+			if key == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the full geminivet suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{NoDeterminism, Hotpath, UnitSafety, FreqDomain}
+}
+
+// ByName resolves one analyzer (driver flag handling).
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// pkgPathBase strips the unit-test variant decoration go vet appends to
+// ImportPath ("pkg [pkg.test]") so path gating matches both modes.
+func pkgPathBase(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

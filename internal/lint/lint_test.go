@@ -1,0 +1,106 @@
+package lint_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gemini/internal/lint"
+	"gemini/internal/lint/analysis"
+	"gemini/internal/lint/linttest"
+	"gemini/internal/lint/load"
+)
+
+// loaderFor builds one module loader per test and points the hotpath
+// analyzer's cross-package annotation oracle at the module.
+func loaderFor(t *testing.T) *load.Loader {
+	t.Helper()
+	l := linttest.MustLoader(t)
+	lint.SetModuleInfo(l.ModuleRoot, l.ModulePath)
+	return l
+}
+
+func TestNoDeterminismFixture(t *testing.T) {
+	l := loaderFor(t)
+	linttest.Run(t, l, linttest.Fixture(t, "nodeterminism"),
+		"fixture/internal/sim", lint.NoDeterminism)
+}
+
+func TestNoDeterminismIgnoresOtherPackages(t *testing.T) {
+	l := loaderFor(t)
+	// The fixture has wall-clock and global-rand uses but no want comments:
+	// under a non-deterministic import path the analyzer must stay silent.
+	linttest.Run(t, l, linttest.Fixture(t, "nodeterminism_otherpkg"),
+		"fixture/server", lint.NoDeterminism)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	l := loaderFor(t)
+	linttest.Run(t, l, linttest.Fixture(t, "hotpath"),
+		"fixture/hotpath", lint.Hotpath)
+}
+
+func TestUnitSafetyFixture(t *testing.T) {
+	l := loaderFor(t)
+	linttest.Run(t, l, linttest.Fixture(t, "unitsafety"),
+		"fixture/unitsafety", lint.UnitSafety)
+}
+
+func TestFreqDomainFixture(t *testing.T) {
+	l := loaderFor(t)
+	linttest.Run(t, l, linttest.Fixture(t, "freqdomain"),
+		"fixture/freqdomain", lint.FreqDomain)
+}
+
+// TestRepoIsClean runs the full geminivet suite over every package of this
+// module and requires zero diagnostics — the same bar CI enforces through
+// go vet -vettool. A failure here names the offending lines directly.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	l := loaderFor(t)
+	paths, err := l.ListPackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []string
+	for _, ip := range paths {
+		pkg, err := l.Load(ip)
+		if err != nil {
+			t.Fatalf("load %s: %v", ip, err)
+		}
+		for _, a := range lint.All() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					p := pkg.Fset.Position(d.Pos)
+					diags = append(diags, fmt.Sprintf("%s:%d:%d: %s: %s",
+						p.Filename, p.Line, p.Column, d.Analyzer, d.Message))
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, ip, err)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		t.Errorf("geminivet found %d violation(s) in the repo:\n%s",
+			len(diags), strings.Join(diags, "\n"))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture for the freqdomain analyzer: cpu.Freq values must come from the
+// validated ladder (named constants / levels), not numeric literals.
+package fixture
+
+import "gemini/internal/cpu"
+
+var bad cpu.Freq = 2.05 // want `literal frequency 2.05 GHz`
+
+var zeroIsSentinel cpu.Freq // fine: zero value means "use the default"
+
+func converts() cpu.Freq {
+	return cpu.Freq(1.9) // want `literal frequency 1.9 GHz`
+}
+
+func namedConstant() cpu.Freq {
+	return cpu.FDefault // fine: named constants live next to the ladder
+}
+
+func explicitZero() cpu.Freq {
+	return 0 // fine: unset sentinel
+}
+
+type plan struct {
+	F cpu.Freq
+}
+
+func assigns(p *plan) {
+	p.F = 2.2 // want `literal frequency 2.2 GHz`
+}
+
+func fromLadder(l *cpu.Ladder, i int) cpu.Freq {
+	return l.Levels()[i] // fine: non-constant, drawn from the table
+}
+
+func suppressed() cpu.Freq {
+	//gemini:allow freqliteral -- microbenchmark pinning a fictional turbo state
+	return cpu.Freq(3.2)
+}

@@ -1,0 +1,105 @@
+// Fixture for the hotpath analyzer: //gemini:hotpath functions must not
+// allocate or call un-annotated helpers, except inside telemetry nil-check
+// guarded regions (tracing enabled ⇒ allocations are part of the contract).
+package fixture
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"gemini/internal/telemetry"
+)
+
+type engine struct {
+	buf []float64
+	tr  *telemetry.Tracer
+	sp  *telemetry.SpanTracer
+}
+
+//gemini:hotpath
+func hotAdd(x float64) float64 { return x + 1 }
+
+//gemini:hotpath
+func hotCaller(x float64) float64 {
+	return hotAdd(x) // fine: callee is annotated
+}
+
+func coldHelper(x float64) float64 { return x * 2 }
+
+//gemini:hotpath
+func callsCold(x float64) float64 {
+	return coldHelper(x) // want `calls un-annotated coldHelper`
+}
+
+//gemini:hotpath
+func formats(x float64) string {
+	return fmt.Sprintf("%v", x) // want `fmt\.Sprintf allocates`
+}
+
+//gemini:hotpath
+func makesMap() map[string]int {
+	return make(map[string]int) // want `make allocates`
+}
+
+//gemini:hotpath
+func mapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//gemini:hotpath
+func closes(x float64) func() float64 {
+	return func() float64 { return x } // want `closure literal allocates`
+}
+
+//gemini:hotpath
+func escapes() *engine {
+	return &engine{} // want `&composite literal escapes to the heap`
+}
+
+//gemini:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//gemini:hotpath
+func spawns() {
+	go coldHelper(1) // want `go statement spawns a goroutine` `calls un-annotated coldHelper`
+}
+
+//gemini:hotpath
+func outsideAllowlist(n int) string {
+	return strconv.Itoa(n) // want `calls strconv\.Itoa, which is outside the hot-path allowlist`
+}
+
+//gemini:hotpath
+func mathIsFine(x float64) float64 {
+	return math.Max(x, 0)
+}
+
+//gemini:hotpath
+func (e *engine) push(x float64) {
+	e.buf = append(e.buf, x) // fine: amortized append is the queue idiom
+}
+
+//gemini:hotpath
+func (e *engine) guarded(x float64) {
+	if e.tr != nil {
+		// Tracing enabled: allocation is the contract, not a violation.
+		_ = fmt.Sprintf("%v", x)
+	}
+}
+
+//gemini:hotpath
+func (e *engine) earlyOut(x float64) string {
+	if e.sp == nil {
+		return ""
+	}
+	return fmt.Sprintf("%v", x) // fine: only reachable with tracing enabled
+}
+
+//gemini:hotpath
+func suppressed(n int) string {
+	//gemini:allow hotpath -- cold error path, runs at most once per process
+	return strconv.Itoa(n)
+}

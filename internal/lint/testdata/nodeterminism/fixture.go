@@ -1,0 +1,63 @@
+// Fixture for the nodeterminism analyzer. Checked under the synthetic
+// import path fixture/internal/sim so the deterministic-package gate fires.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() float64 {
+	t0 := time.Now()          // want `time\.Now reads the wall clock`
+	elapsed := time.Since(t0) // want `time\.Since reads the wall clock`
+	return elapsed.Seconds()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from the process-wide source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // methods on an explicit *rand.Rand are the sanctioned idiom
+}
+
+func printUnsorted(m map[string]int) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		fmt.Println(k)
+	}
+}
+
+func appendUnsorted(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // fine: sorted below before any output
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sumOnly(m map[string]int) int {
+	var total int
+	for _, v := range m { // fine: integer addition commutes, no ordered sink
+		total += v
+	}
+	return total
+}
+
+func allowedPrint(m map[string]int) {
+	//gemini:allow maprange -- debug dump, order is irrelevant
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture proving the nodeterminism analyzer stays silent outside the
+// deterministic packages: checked under import path fixture/server, where
+// wall clocks and the global rand are legitimate.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFine() float64 {
+	return float64(time.Now().UnixNano()) + float64(rand.Intn(10))
+}

@@ -1,0 +1,77 @@
+// Fixture for the unitsafety analyzer: float == comparisons and unit-suffix
+// mismatches on direct value flows.
+package fixture
+
+func compares(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func comparesNeq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func zeroSentinel(a float64) bool {
+	return a == 0 // fine: constant-zero is the unset sentinel
+}
+
+func intCompare(a, b int) bool {
+	return a == b // fine: exact integer equality
+}
+
+func allowedCompare(a, b float64) bool {
+	//gemini:allow floatcmp -- values copied verbatim, bitwise equality intended
+	return a == b
+}
+
+func assignMismatch(durSec float64) float64 {
+	var totalMs float64
+	totalMs = durSec // want `unit mismatch: totalMs \(milliseconds\) receives durSec \(seconds\)`
+	return totalMs
+}
+
+func declMismatch(lenSec float64) float64 {
+	var windowMs = lenSec // want `unit mismatch: windowMs \(milliseconds\) receives lenSec \(seconds\)`
+	return windowMs
+}
+
+func sameUnit(latencyMs float64) float64 {
+	var totalMs float64
+	totalMs = latencyMs // fine: both milliseconds
+	return totalMs
+}
+
+func step(deltaSec float64) float64 { return deltaSec }
+
+func argMismatch(budgetMs float64) float64 {
+	return step(budgetMs) // want `unit mismatch: deltaSec \(seconds\) receives budgetMs \(milliseconds\)`
+}
+
+type report struct {
+	TotalMs float64
+}
+
+func fieldMismatch(elapsedSec float64) report {
+	return report{TotalMs: elapsedSec} // want `unit mismatch: TotalMs \(milliseconds\) receives elapsedSec \(seconds\)`
+}
+
+func freqIntoTime(clockGHz float64) float64 {
+	var periodMs float64
+	//gemini:allow units -- inverse relation handled by the caller
+	periodMs = clockGHz
+	return periodMs
+}
+
+func arithmeticIsUnchecked(spanSec, rateGHz float64) float64 {
+	// Derived expressions carry no single unit; the analyzer only polices
+	// direct identifier-to-identifier flows.
+	var totalMs float64
+	totalMs = spanSec * rateGHz * 1e3
+	return totalMs
+}
+
+func suffixNeedsBoundary(rms float64) float64 {
+	// "rms" ends in "ms" but has no camelCase boundary, so it carries no unit.
+	var totalMs float64
+	totalMs = rms
+	return totalMs
+}

@@ -22,7 +22,7 @@ type EETL struct {
 
 // NewEETL returns the controller with defaults matched to the 40 ms budget.
 func NewEETL() *EETL {
-	return &EETL{EpochMs: 125, LowFreq: 1.6}
+	return &EETL{EpochMs: 125, LowFreq: cpu.FLow}
 }
 
 // Name implements sim.Policy.

@@ -132,7 +132,7 @@ func (x *Extractor) buildProfile(pl *index.PostingList) *termProfile {
 
 	nMax, in5Max := 0, 0
 	for _, v := range imps {
-		if v == max {
+		if v >= max { // nothing exceeds max, so this counts exact hits
 			nMax++
 		}
 		if v >= 0.95*max {

@@ -1,0 +1,77 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gemini/internal/corpus"
+	"gemini/internal/index"
+)
+
+var fuzzEnv struct {
+	once sync.Once
+	mu   sync.Mutex
+	c    *corpus.Corpus
+	eng  *Engine
+}
+
+func fuzzEngine() (*corpus.Corpus, *Engine) {
+	fuzzEnv.once.Do(func() {
+		spec := corpus.SmallSpec()
+		spec.Seed = 7
+		fuzzEnv.c = corpus.Generate(spec)
+		fuzzEnv.eng = NewEngine(index.Build(fuzzEnv.c), DefaultK)
+	})
+	return fuzzEnv.c, fuzzEnv.eng
+}
+
+// FuzzFeatureVector feeds arbitrary query text through ParseQuery and the
+// Table II feature extractor and checks the properties the predictors rely
+// on: extraction never panics, every feature is finite and non-negative,
+// Query_Length matches the parsed term count, the cached second extraction
+// is identical to the first, and a fresh extractor (empty cache) agrees with
+// the warmed one — i.e. the per-term profile cache is a pure memoization.
+func FuzzFeatureVector(f *testing.F) {
+	f.Add("canada")
+	f.Add("united kingdom")
+	f.Add("UNITED   kingdom\tcanada")
+	f.Add("no-such-word at all")
+	f.Add("")
+	f.Add("a b c d e f g h i j k l m n o p q r s t u v w x y z")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		c, eng := fuzzEngine()
+		fuzzEnv.mu.Lock()
+		defer fuzzEnv.mu.Unlock()
+
+		q, ok := corpus.ParseQuery(c, text)
+		if !ok {
+			return // nothing resolved against the vocabulary
+		}
+		if len(q.Terms) == 0 {
+			t.Fatal("ParseQuery returned ok with no terms")
+		}
+
+		warm := NewExtractor(eng)
+		fv := warm.Features(q)
+		for i, v := range fv {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %s = %v", FeatureNames[i], v)
+			}
+			if v < 0 {
+				t.Fatalf("feature %s = %v, want >= 0", FeatureNames[i], v)
+			}
+		}
+		if got := fv[FeatQueryLength]; got != float64(len(q.Terms)) {
+			t.Fatalf("Query_Length = %v, terms = %d", got, len(q.Terms))
+		}
+
+		if again := warm.Features(q); again != fv {
+			t.Fatalf("cached extraction diverged:\n%v\n%v", fv, again)
+		}
+		if fresh := NewExtractor(eng).Features(q); fresh != fv {
+			t.Fatalf("fresh extractor diverged:\n%v\n%v", fv, fresh)
+		}
+	})
+}

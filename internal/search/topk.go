@@ -93,7 +93,13 @@ func (h *topKHeap) results() []Result {
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0; j-- {
 			a, b := out[j-1], out[j]
-			if a.Score > b.Score || (a.Score == b.Score && a.Doc <= b.Doc) {
+			// In order when a scores strictly higher, or ties (not lower,
+			// not higher) with the lower doc id first.
+			inOrder := a.Score > b.Score
+			if !inOrder && a.Score >= b.Score && a.Doc <= b.Doc {
+				inOrder = true
+			}
+			if inOrder {
 				break
 			}
 			out[j-1], out[j] = b, a

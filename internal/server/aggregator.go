@@ -242,8 +242,11 @@ collect:
 		agg.Results = append(agg.Results, r.Results...)
 	}
 	sort.Slice(agg.Results, func(i, j int) bool {
-		if agg.Results[i].Score != agg.Results[j].Score {
-			return agg.Results[i].Score > agg.Results[j].Score
+		switch {
+		case agg.Results[i].Score > agg.Results[j].Score:
+			return true
+		case agg.Results[i].Score < agg.Results[j].Score:
+			return false
 		}
 		if agg.Results[i].Shard != agg.Results[j].Shard {
 			return agg.Results[i].Shard < agg.Results[j].Shard

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"gemini/internal/telemetry"
+)
+
+// FuzzTraceEnvelopeDecode hardens the ISN response envelope against
+// arbitrary bytes: whatever a (buggy or hostile) shard sends, the aggregator
+// path must either reject it at decode or handle it without panicking. For
+// every envelope that decodes, the properties the stitching code relies on
+// must hold: re-encoding is stable (canonical round trip), span sorting
+// terminates and preserves the span multiset, and the rebase shift applied
+// by stitch preserves every span's duration.
+func FuzzTraceEnvelopeDecode(f *testing.F) {
+	seed := ISNResponse{
+		Shard:     3,
+		ServiceMs: 12.5, PredictedMs: 11.0, PredErrMs: 1.5,
+		QueueDepth: 2, QueueWaitMs: 0.5, ExecWallMs: 12.0,
+		Spans: []telemetry.Span{
+			{TraceID: "agg-1", SpanID: "isn-root", Name: "isn-exec", StartMs: 0.5, EndMs: 12.5},
+			{TraceID: "agg-1", SpanID: "isn-q", ParentID: "isn-root", Name: "isn-queue",
+				StartMs: 0, EndMs: 0.5, Attrs: map[string]float64{"depth": 2}},
+		},
+	}
+	data, err := json.Marshal(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"spans":[{"start_ms":1e308,"end_ms":-1e308}]}`))
+	f.Add([]byte(`{"shard":-1,"spans":null,"results":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ISNResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			return // rejected at the envelope boundary: fine
+		}
+
+		// Canonical round trip: encode must succeed (JSON never yields
+		// NaN/Inf floats, the one thing Marshal rejects) and re-decode to an
+		// identically-encoding value.
+		enc1, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", err)
+		}
+		var r2 ISNResponse
+		if err := json.Unmarshal(enc1, &r2); err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		enc2, err := json.Marshal(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("round trip unstable:\n%s\n%s", enc1, enc2)
+		}
+
+		// The aggregator sorts stitched spans for display; sorting any
+		// decodable span set must keep the count and never panic.
+		spans := make([]telemetry.Span, len(r.Spans))
+		copy(spans, r.Spans)
+		telemetry.SortSpans(spans)
+		if len(spans) != len(r.Spans) {
+			t.Fatalf("sort changed span count: %d -> %d", len(r.Spans), len(spans))
+		}
+
+		// stitch rebases ISN spans by the leg's send offset; the shift must
+		// preserve durations for every finite span.
+		const sendMs = 1.25
+		for _, sp := range r.Spans {
+			want := sp.DurationMs()
+			sp.StartMs += sendMs
+			sp.EndMs += sendMs
+			if math.IsInf(want, 0) || math.IsNaN(want) {
+				continue // only reachable via ±MaxFloat64 overflow inputs
+			}
+			if got := sp.DurationMs(); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("rebase changed duration: %v -> %v", want, got)
+			}
+		}
+	})
+}

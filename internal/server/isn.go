@@ -358,6 +358,7 @@ func (n *ISN) applyModel(plan core.Plan, work cpu.Work) modelExec {
 	defer n.mu.Unlock()
 	var mx modelExec
 	f := plan.Initial
+	//gemini:allow floatcmp -- plan frequencies are discrete ladder levels; exact change detection counts real transitions
 	if f != n.modelFreq {
 		mx.transitions++
 		n.modelFreq = f

@@ -52,6 +52,7 @@ func newResult(policy string, wl *Workload) *Result {
 	return &Result{Policy: policy, Total: len(wl.Requests), record: true}
 }
 
+//gemini:hotpath
 func (r *Result) recordCompletion(req *Request) {
 	r.Completed++
 	if req.Violated() {
@@ -62,6 +63,7 @@ func (r *Result) recordCompletion(req *Request) {
 	}
 }
 
+//gemini:hotpath
 func (r *Result) recordDrop(req *Request) {
 	r.Dropped++
 }

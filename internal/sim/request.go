@@ -46,15 +46,21 @@ type Request struct {
 
 // LatencyMs returns completion latency (finish − arrival); for dropped
 // requests it is the time until the drop.
+//
+//gemini:hotpath
 func (r *Request) LatencyMs() float64 { return r.FinishMs - r.ArrivalMs }
 
 // Violated reports whether the request missed its deadline (dropped requests
 // count as violations: the aggregator never got their results in time).
+//
+//gemini:hotpath
 func (r *Request) Violated() bool {
 	return r.Dropped || (r.Done && r.FinishMs > r.DeadlineMs)
 }
 
 // Remaining returns the work left to execute.
+//
+//gemini:hotpath
 func (r *Request) Remaining() cpu.Work { return r.WorkTotal - r.WorkDone }
 
 // PreparedQuery caches the execution-derived properties of a pool query so

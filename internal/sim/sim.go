@@ -219,15 +219,21 @@ func (s *Sim) Predictions() *Predictions { return s.wl.Preds }
 func (s *Sim) Queue() []*Request { return s.queue[s.qhead:] }
 
 // qlen is the live queue length.
+//
+//gemini:hotpath
 func (s *Sim) qlen() int { return len(s.queue) - s.qhead }
 
 // head is the live queue's front request; callers must check qlen() > 0.
+//
+//gemini:hotpath
 func (s *Sim) head() *Request { return s.queue[s.qhead] }
 
 // popHead dequeues the front request, recycling the backing array: when the
 // queue drains the slice resets to its full capacity, and a long-lived
 // non-empty queue compacts once the dead prefix dominates. Either way the
 // steady state appends into existing capacity — no per-request allocation.
+//
+//gemini:hotpath
 func (s *Sim) popHead() {
 	s.queue[s.qhead] = nil // release the reference
 	s.qhead++
@@ -248,7 +254,10 @@ func (s *Sim) popHead() {
 
 // SetFreq switches the core to f immediately; a change away from the
 // current frequency stalls the core for TdvfsMs.
+//
+//gemini:hotpath
 func (s *Sim) SetFreq(f cpu.Freq) {
+	//gemini:allow floatcmp -- frequencies are discrete ladder levels; the exact no-op check avoids phantom transition stalls
 	if f == s.freq {
 		return
 	}
@@ -267,7 +276,10 @@ func (s *Sim) SetFreq(f cpu.Freq) {
 // moment (span tracing enabled only). Several same-instant switches — clear
 // plan, set initial, re-plan at an arrival — collapse into one boundary: the
 // phase that matters is the one time actually passes in.
+//
+//gemini:hotpath
 func (s *Sim) markPhase() {
+	//gemini:allow floatcmp -- mark timestamps are copied from s.now verbatim; same-instant coalescing needs exact equality
 	if n := len(s.marks); n > 0 && s.marks[n-1].at == s.now {
 		s.marks[n-1].freq = s.freq
 		return
@@ -277,19 +289,27 @@ func (s *Sim) markPhase() {
 
 // PlanFreqChange schedules a frequency switch at the given absolute time.
 // Past times apply on the next event dispatch.
+//
+//gemini:hotpath
 func (s *Sim) PlanFreqChange(atMs float64, f cpu.Freq) {
 	s.planned = append(s.planned, plannedChange{at: atMs, freq: f})
 }
 
 // ClearPlannedChanges cancels all scheduled frequency switches.
+//
+//gemini:hotpath
 func (s *Sim) ClearPlannedChanges() { s.planned = s.planned[:0] }
 
 // SetTimer schedules an OnTimer callback at the given absolute time.
+//
+//gemini:hotpath
 func (s *Sim) SetTimer(atMs float64, tag int64) {
 	s.timers = append(s.timers, timerEvent{at: atMs, tag: tag})
 }
 
 // Stall blocks the core for the given duration (prediction overhead).
+//
+//gemini:hotpath
 func (s *Sim) Stall(ms float64) {
 	if ms <= 0 {
 		return
@@ -316,6 +336,8 @@ func (s *Sim) Sleep(powerW, wakeMs float64) {
 // paper drops requests that cannot meet their deadline even at the maximum
 // frequency (§III-A); the aggregator would discard their late responses
 // anyway.
+//
+//gemini:hotpath
 func (s *Sim) Drop(r *Request) {
 	for i := s.qhead; i < len(s.queue); i++ {
 		if s.queue[i] != r {
@@ -350,6 +372,8 @@ func (s *Sim) Drop(r *Request) {
 
 // TraceEnabled reports whether a decision tracer is attached; policies may
 // use it to skip building trace-only values.
+//
+//gemini:hotpath
 func (s *Sim) TraceEnabled() bool { return s.tr != nil }
 
 // TracePlan annotates r's pending decision record with the frequency plan
@@ -358,6 +382,8 @@ func (s *Sim) TraceEnabled() bool { return s.tr != nil }
 // single-step), and the critical request anchoring a group plan (-1 when the
 // request was planned alone). A no-op when tracing is disabled — the hook
 // costs policies one call with no allocation.
+//
+//gemini:hotpath
 func (s *Sim) TracePlan(r *Request, initial, boost cpu.Freq, boostAtMs float64, criticalID int) {
 	if s.tr == nil {
 		return
@@ -475,6 +501,7 @@ const (
 	evNone
 )
 
+//gemini:hotpath
 func (s *Sim) loop() {
 	for {
 		kind, at, idx := s.nextEvent()
@@ -504,6 +531,8 @@ func (s *Sim) loop() {
 // nextEvent picks the earliest pending event; ties break by the priority
 // completion < planned < arrival < timer so departures free the server
 // before a simultaneous arrival is observed.
+//
+//gemini:hotpath
 func (s *Sim) nextEvent() (kind int, at float64, idx int) {
 	kind, at, idx = evNone, math.Inf(1), -1
 
@@ -512,18 +541,21 @@ func (s *Sim) nextEvent() (kind int, at float64, idx int) {
 	}
 	for i, pc := range s.planned {
 		t := math.Max(pc.at, s.now)
+		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
 		if t < at || (t == at && kind > evPlanned) {
 			kind, at, idx = evPlanned, t, i
 		}
 	}
 	if s.nextArr < len(s.wl.Requests) {
 		t := s.wl.Requests[s.nextArr].ArrivalMs
+		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
 		if t < at || (t == at && kind > evArrival) {
 			kind, at, idx = evArrival, t, -1
 		}
 	}
 	for i, tm := range s.timers {
 		t := math.Max(tm.at, s.now)
+		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
 		if t < at || (t == at && kind > evTimer) {
 			kind, at, idx = evTimer, t, i
 		}
@@ -539,6 +571,8 @@ func (s *Sim) nextEvent() (kind int, at float64, idx int) {
 
 // completionTime returns when the executing request will finish under the
 // current frequency and stall state (+Inf if the server is idle).
+//
+//gemini:hotpath
 func (s *Sim) completionTime() float64 {
 	if s.qlen() == 0 || !s.head().Started {
 		return math.Inf(1)
@@ -549,6 +583,8 @@ func (s *Sim) completionTime() float64 {
 
 // advanceTo moves simulated time forward, accruing head-request progress and
 // core energy across the stall boundary.
+//
+//gemini:hotpath
 func (s *Sim) advanceTo(t float64) {
 	if t <= s.now {
 		s.now = math.Max(s.now, t)
@@ -574,9 +610,12 @@ func (s *Sim) advanceTo(t float64) {
 
 // accrue charges dt of energy at the current frequency/activity, splitting
 // across power-series buckets when enabled.
+//
+//gemini:hotpath
 func (s *Sim) accrue(dt float64, busy bool) {
 	if s.cfg.RecordFreqTrace && dt > 0 {
 		n := len(s.freqTrace)
+		//gemini:allow floatcmp -- segment coalescing compares values copied verbatim from s.freq / s.now
 		if n > 0 && s.freqTrace[n-1].Freq == s.freq && s.freqTrace[n-1].Busy == busy && s.freqTrace[n-1].EndMs == s.now {
 			s.freqTrace[n-1].EndMs = s.now + dt
 		} else {
@@ -603,6 +642,7 @@ func (s *Sim) accrue(dt float64, busy bool) {
 	}
 }
 
+//gemini:hotpath
 func (s *Sim) arrive(r *Request) {
 	s.queue = append(s.queue, r)
 	if s.tr != nil {
@@ -634,6 +674,7 @@ func (s *Sim) arrive(r *Request) {
 	}
 }
 
+//gemini:hotpath
 func (s *Sim) startHead() {
 	head := s.head()
 	head.Started = true
@@ -666,6 +707,7 @@ func (s *Sim) startHead() {
 	}
 }
 
+//gemini:hotpath
 func (s *Sim) completeHead() {
 	head := s.head()
 	head.Done = true

@@ -201,11 +201,15 @@ func GroupSpansByTrace(spans []Span) (ids []string, byTrace map[string][]Span) {
 // waterfall display order.
 func SortSpans(spans []Span) {
 	sort.SliceStable(spans, func(i, j int) bool {
-		if spans[i].StartMs != spans[j].StartMs {
-			return spans[i].StartMs < spans[j].StartMs
-		}
-		if spans[i].EndMs != spans[j].EndMs {
-			return spans[i].EndMs > spans[j].EndMs
+		switch {
+		case spans[i].StartMs < spans[j].StartMs:
+			return true
+		case spans[i].StartMs > spans[j].StartMs:
+			return false
+		case spans[i].EndMs > spans[j].EndMs:
+			return true
+		case spans[i].EndMs < spans[j].EndMs:
+			return false
 		}
 		return spans[i].Name < spans[j].Name
 	})
