@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"gemini/internal/cpu"
 	"gemini/internal/harness"
+	"gemini/internal/sim"
 )
 
 var (
@@ -32,14 +34,13 @@ func benchSet(b *testing.B) *harness.ExperimentSet {
 }
 
 // runExperiment drives one named experiment b.N times. The platform is built
-// outside the timed region; each iteration gets a fresh experiment set so
-// cached grids do not leak between iterations.
+// outside the timed region; each iteration gets a fresh experiment set (via
+// benchSet) so cached grids do not leak between iterations.
 func runExperiment(b *testing.B, name string) {
-	p := benchPlatform(b)
+	benchPlatform(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		set := harness.NewExperimentSet(p, 0.05)
-		if _, err := set.Run(name); err != nil {
+		if _, err := benchSet(b).Run(name); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,6 +259,28 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(float64(workers), "workers")
 	if perIter > 0 {
 		b.ReportMetric(float64(serial)/float64(perIter), "speedup-x")
+	}
+}
+
+// BenchmarkEnginePlatformConfig runs the raw event engine under the real
+// platform's sim.Config on the shared bench workload (see
+// internal/sim/benchsupport.go — the same scaffolding behind the
+// internal/sim engine pair and BENCH_sim.json), so the whole-stack numbers
+// here and the engine-only numbers there stay directly comparable.
+func BenchmarkEnginePlatformConfig(b *testing.B) {
+	p := benchPlatform(b)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := sim.BenchWorkload(2000, int64(i))
+		cfg := p.SimConfig()
+		b.StartTimer()
+		res := sim.Run(cfg, wl, &sim.FixedPolicy{F: cpu.FDefault})
+		events += res.Events
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
 	}
 }
 

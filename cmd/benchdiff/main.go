@@ -1,0 +1,241 @@
+// Command benchdiff renders `go test -bench` output into the BENCH_sim.json
+// schema and diffs two such files, gating on engine throughput regressions.
+//
+// Render mode converts benchmark text to JSON (replacing the ad-hoc awk the
+// CI bench job used to carry), keeping custom metrics like events/sec:
+//
+//	benchdiff -render bench.txt > BENCH_current.json
+//
+// Diff mode compares a current file against the checked-in baseline:
+//
+//	benchdiff -baseline BENCH_sim.json -current BENCH_current.json \
+//	    -tol 0.15 -calibrate BenchmarkClusterLargeLinear
+//
+// Only benchmarks reporting events/sec participate in the gate — wall-clock
+// ns/op of the remaining benchmarks is too machine-dependent to gate on. The
+// -calibrate flag names a reference benchmark whose current/baseline ratio is
+// the machine-speed yardstick: every other ratio is divided by it, so a CI
+// runner that is uniformly 2x slower than the machine that produced the
+// baseline still passes, while a change that slows the calendar engine
+// relative to the linear reference fails. The reference itself always
+// normalizes to exactly 1. Exit status 1 means a gated benchmark's
+// normalized throughput fell below 1-tol.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's recorded numbers. EventsPerSec is 0 when the
+// benchmark does not report the metric (absent from JSON).
+type Bench struct {
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	BytesPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the BENCH_sim.json schema.
+type File struct {
+	Commit     string  `json:"commit,omitempty"`
+	Machine    string  `json:"machine,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	render := flag.String("render", "", "render `go test -bench` text output at this path to JSON on stdout")
+	baseline := flag.String("baseline", "", "baseline BENCH_sim.json")
+	current := flag.String("current", "", "current BENCH_sim.json to compare against the baseline")
+	tol := flag.Float64("tol", 0.15, "allowed fractional throughput regression")
+	calibrate := flag.String("calibrate", "", "reference benchmark name for machine-speed normalization")
+	commit := flag.String("commit", "", "commit hash to stamp into rendered output")
+	flag.Parse()
+
+	switch {
+	case *render != "":
+		if err := renderFile(*render, *commit); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case *baseline != "" && *current != "":
+		ok, err := diff(*baseline, *current, *tol, *calibrate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// renderFile parses benchmark text output and writes the JSON schema.
+func renderFile(path, commit string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	out := File{Commit: commit}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.Machine = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		return out.Benchmarks[i].Name < out.Benchmarks[j].Name
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBenchLine decodes one `BenchmarkName  N  val unit  val unit ...` line.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	b := Bench{Name: trimProcSuffix(fields[0])}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "events/sec":
+			b.EventsPerSec = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix (BenchmarkFoo-8 -> BenchmarkFoo)
+// so names compare across machines with different core counts.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// diff compares current against baseline and reports pass/fail.
+func diff(basePath, curPath string, tol float64, calibrate string) (bool, error) {
+	base, err := readFile(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := readFile(curPath)
+	if err != nil {
+		return false, err
+	}
+	baseBy := indexByName(base)
+	curBy := indexByName(cur)
+
+	// Machine-speed yardstick: the reference benchmark's throughput ratio.
+	norm := 1.0
+	if calibrate != "" {
+		b, okB := baseBy[calibrate]
+		c, okC := curBy[calibrate]
+		if !okB || !okC || b.EventsPerSec <= 0 || c.EventsPerSec <= 0 {
+			return false, fmt.Errorf("calibration benchmark %s missing events/sec in baseline or current", calibrate)
+		}
+		norm = c.EventsPerSec / b.EventsPerSec
+		fmt.Printf("calibration: %s throughput ratio %.3f (current/baseline)\n", calibrate, norm)
+	}
+
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pass := true
+	gated := 0
+	for _, name := range names {
+		b := baseBy[name]
+		c, ok := curBy[name]
+		if !ok || b.EventsPerSec <= 0 || c.EventsPerSec <= 0 {
+			continue
+		}
+		gated++
+		ratio := c.EventsPerSec / b.EventsPerSec / norm
+		status := "ok"
+		if ratio < 1-tol {
+			status = "REGRESSION"
+			pass = false
+		}
+		fmt.Printf("%-40s baseline %12.0f ev/s  current %12.0f ev/s  normalized %.3fx  %s\n",
+			name, b.EventsPerSec, c.EventsPerSec, ratio, status)
+	}
+	if gated == 0 {
+		return false, fmt.Errorf("no benchmarks with events/sec in common between %s and %s", basePath, curPath)
+	}
+	if !pass {
+		fmt.Printf("FAIL: throughput regressed more than %.0f%% against %s\n", tol*100, basePath)
+	}
+	return pass, nil
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func indexByName(f File) map[string]Bench {
+	m := make(map[string]Bench, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}

@@ -26,7 +26,8 @@ func main() {
 		small      = flag.Bool("small", false, "use the fast small-scale platform")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		durScale   = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
-		workers    = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids (1 = serial; results are identical)")
+		workers    = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids and -cluster sharding (1 = serial; results are identical)")
+		cluster    = flag.Int("cluster", 0, "run the §V multi-core cluster sweep over this many cores and exit (sharded across -workers threads)")
 		logPath    = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
 		logPol     = flag.String("log-policy", "Gemini", "policy for -log-decisions")
 		logTrace   = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
@@ -108,6 +109,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prediction audit: MAE %.2f ms, p95 |err| %.2f ms, coverage %.1f%% (n=%d)\n",
 				q.MAEMs, q.P95Ms, q.CoverageRate*100, q.N)
 		}
+		return
+	}
+
+	if *cluster > 0 {
+		rep := p.ClusterReport(*cluster, *workers, 60, 120_000*scale)
+		fmt.Println(rep.String())
 		return
 	}
 

@@ -163,6 +163,10 @@ type TraceSpec struct {
 	// the rest. Cores == 0 simulates a single ISN whose core power is
 	// extrapolated to all 12 sockets cores (the paper's measurement setup).
 	Cores int
+	// Workers shards a Cores > 0 run over this many OS threads. Results
+	// are byte-identical to the serial run (sim.RunClusterWorkers merges
+	// cores deterministically); <= 1 runs serially. Ignored when Cores == 0.
+	Workers int
 }
 
 // Metrics summarizes one simulation run.
@@ -215,7 +219,7 @@ func (s *System) Simulate(policyName string, spec TraceSpec) (*Metrics, error) {
 	cfg := s.p.SimConfig()
 
 	if spec.Cores > 0 {
-		cr := sim.RunCluster(cfg, wl, spec.Cores, func(int) sim.Policy {
+		cr := sim.RunClusterWorkers(cfg, wl, spec.Cores, spec.Workers, func(int) sim.Policy {
 			return s.p.MustPolicy(policyName)
 		})
 		mean := 0.0

@@ -9,10 +9,7 @@
 package harness
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
+	"gemini/internal/par"
 	"gemini/internal/policy"
 	"gemini/internal/sim"
 	"gemini/internal/trace"
@@ -20,38 +17,12 @@ import (
 
 // DefaultWorkers returns the grid runner's default worker count: one worker
 // per schedulable CPU.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+func DefaultWorkers() int { return par.DefaultWorkers() }
 
-// gridRun executes jobs 0..n-1 across at most `workers` goroutines. Each job
-// must write results only into its own per-index slot; workers <= 1 runs
-// inline and is the serial reference path.
-func gridRun(workers, n int, job func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				job(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// gridRun executes jobs 0..n-1 across at most `workers` goroutines via the
+// shared par pool. Each job must write results only into its own per-index
+// slot; workers <= 1 runs inline and is the serial reference path.
+func gridRun(workers, n int, job func(i int)) { par.Run(workers, n, job) }
 
 // RPSSweepWorkers runs the Fig. 10/11 measurement grid with the (rps, policy)
 // cells fanned across the worker pool. Each cell regenerates its arrival

@@ -103,3 +103,45 @@ func suppressed(n int) string {
 	//gemini:allow hotpath -- cold error path, runs at most once per process
 	return strconv.Itoa(n)
 }
+
+// The calendar-queue / SoA-pool idioms added with the event-engine rework:
+// the analyzer must keep accepting the patterns the queue depends on
+// (binary-search insert with copy-shift, swap-remove dispatch, generation
+// pruning) while still flagging rebucketing-style allocation without an
+// explicit allow.
+
+//gemini:hotpath
+func (e *engine) insertShift(x float64, at int) {
+	// append+copy shift: the queue's sorted-bucket insert. Amortized append
+	// and the copy builtin are both allowed.
+	e.buf = append(e.buf, 0)
+	copy(e.buf[at+1:], e.buf[at:])
+	e.buf[at] = x
+}
+
+//gemini:hotpath
+func (e *engine) swapRemove(i int) {
+	// O(1) dispatch removal: physical order is irrelevant once events carry
+	// their insertion seq.
+	last := len(e.buf) - 1
+	e.buf[i] = e.buf[last]
+	e.buf = e.buf[:last]
+}
+
+//gemini:hotpath
+func (e *engine) pruneTail(live func(float64) bool) {
+	for len(e.buf) > 0 && !live(e.buf[len(e.buf)-1]) {
+		e.buf = e.buf[:len(e.buf)-1]
+	}
+}
+
+//gemini:hotpath
+func rebucket(n int) [][]float64 {
+	return make([][]float64, n) // want `make allocates`
+}
+
+//gemini:hotpath
+func rebucketAllowed(n int) [][]float64 {
+	//gemini:allow hotpath -- amortized rebucketing, runs O(1) times per O(n) inserts
+	return make([][]float64, n)
+}

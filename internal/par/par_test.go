@@ -1,0 +1,42 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 257
+		var hits [n]atomic.Int32
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunSerialIsInline(t *testing.T) {
+	// workers <= 1 must execute jobs in index order on the caller's
+	// goroutine — the serial reference path of the byte-identical contract.
+	var order []int
+	Run(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order[%d] = %d", i, got)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	ran := false
+	Run(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("job ran with n=0")
+	}
+}

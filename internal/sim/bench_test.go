@@ -1,49 +1,50 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"gemini/internal/cpu"
+	"gemini/internal/par"
 	"gemini/internal/telemetry"
 )
 
-// benchWorkload builds a Poisson-ish stream of n requests.
-func benchWorkload(n int, seed int64) *Workload {
-	rng := rand.New(rand.NewSource(seed))
-	wl := &Workload{BudgetMs: 40}
-	at := 0.0
-	for i := 0; i < n; i++ {
-		at += rng.ExpFloat64() * 25
-		w := cpu.Work((2 + rng.Float64()*20) * 2.7)
-		wl.Requests = append(wl.Requests, &Request{
-			ID: i, BaseWork: w, WorkTotal: w,
-			ArrivalMs: at, DeadlineMs: at + 40,
-		})
+// benchRun is the shared body of the single-ISN benchmark family: a fresh
+// 2000-request BenchWorkload per iteration (built outside the timed region),
+// run under the config mkCfg yields. The telemetry/span benchmarks differ
+// from the baseline only in mkCfg, so the pairs stay comparable by
+// construction.
+func benchRun(b *testing.B, mkCfg func() Config) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := BenchWorkload(2000, int64(i))
+		cfg := mkCfg()
+		b.StartTimer()
+		res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
+		events += res.Events
 	}
-	wl.DurationMs = at + 100
-	return wl
+	reportEventsPerSec(b, events)
+}
+
+// reportEventsPerSec attaches the engine-throughput metric tracked by
+// BENCH_sim.json and cmd/benchdiff.
+func reportEventsPerSec(b *testing.B, events uint64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
 }
 
 func BenchmarkRunFixedPolicy(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
-		b.StartTimer()
-		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
-	}
+	benchRun(b, DefaultConfig)
 }
 
 func BenchmarkRunWithPowerSeries(b *testing.B) {
-	cfg := DefaultConfig()
-	cfg.PowerSeriesResMs = 1000
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
-		b.StartTimer()
-		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
-	}
+	benchRun(b, func() Config {
+		cfg := DefaultConfig()
+		cfg.PowerSeriesResMs = 1000
+		return cfg
+	})
 }
 
 // BenchmarkRunTelemetryDisabled / ...Enabled are the paired guard for the
@@ -51,25 +52,15 @@ func BenchmarkRunWithPowerSeries(b *testing.B) {
 // lifecycle event and nothing more (see also
 // TestTelemetryDisabledAddsNoAllocsPerRequest).
 func BenchmarkRunTelemetryDisabled(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
-		b.StartTimer()
-		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
-	}
+	benchRun(b, DefaultConfig)
 }
 
 func BenchmarkRunTelemetryEnabled(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
+	benchRun(b, func() Config {
 		cfg := DefaultConfig()
 		cfg.Tracer = telemetry.NewTracer(256)
-		b.StartTimer()
-		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
-	}
+		return cfg
+	})
 }
 
 // BenchmarkRunSpansDisabled / ...Enabled are the same paired guard for the
@@ -77,29 +68,36 @@ func BenchmarkRunTelemetryEnabled(b *testing.B) {
 // test (the Disabled numbers must match BenchmarkRunFixedPolicy; see also
 // TestSpansDisabledAddsNoAllocsPerRequest).
 func BenchmarkRunSpansDisabled(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
-		b.StartTimer()
-		Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
-	}
+	benchRun(b, DefaultConfig)
 }
 
 func BenchmarkRunSpansEnabled(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		wl := benchWorkload(2000, int64(i))
+	benchRun(b, func() Config {
 		cfg := DefaultConfig()
 		cfg.Spans = telemetry.NewSpanTracer(256)
-		b.StartTimer()
-		Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
-	}
+		return cfg
+	})
+}
+
+// BenchmarkRunEngineLinear / ...Calendar are the single-ISN engine pair: the
+// same workload under the reference linear-scan loop and the calendar-queue
+// loop. The FixedPolicy floor keeps the pending-event population tiny, so
+// this pair bounds the calendar's bookkeeping overhead rather than its
+// asymptotic win (BenchmarkClusterLarge* measures that).
+func BenchmarkRunEngineLinear(b *testing.B) {
+	benchRun(b, func() Config {
+		cfg := DefaultConfig()
+		cfg.Engine = EngineLinear
+		return cfg
+	})
+}
+
+func BenchmarkRunEngineCalendar(b *testing.B) {
+	benchRun(b, DefaultConfig)
 }
 
 func BenchmarkDispatch(b *testing.B) {
-	wl := benchWorkload(10000, 1)
+	wl := BenchWorkload(10000, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Dispatch(wl, 8)
@@ -109,8 +107,67 @@ func BenchmarkDispatch(b *testing.B) {
 func BenchmarkRunCluster(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wl := benchWorkload(4000, int64(i))
+		wl := BenchWorkload(4000, int64(i))
 		b.StartTimer()
-		RunCluster(DefaultConfig(), wl, 4, func(int) Policy { return &fixedPolicy{f: cpu.FDefault} })
+		RunCluster(DefaultConfig(), wl, 4, func(int) Policy { return &FixedPolicy{F: cpu.FDefault} })
 	}
+}
+
+// timerHeavyPolicy drives the event queue the way a real per-core controller
+// does: a ladder of staggered periodic timers stays armed for the whole run
+// (think Pegasus-style epochs plus per-slot watchdogs) and every arrival
+// plans a boost-then-restore frequency pair. Dozens of events are pending
+// per core in steady state — where the linear engine's O(pending) scans
+// dominate and the calendar queue's O(1) extract pays off.
+type timerHeavyPolicy struct{ k int }
+
+const timerHeavySlots = 128
+
+func (p *timerHeavyPolicy) Name() string { return "timerheavy" }
+func (p *timerHeavyPolicy) Init(s *Sim) {
+	s.SetFreq(cpu.FDefault)
+	for i := int64(0); i < timerHeavySlots; i++ {
+		s.SetTimer(float64(i), i)
+	}
+}
+func (p *timerHeavyPolicy) OnArrival(s *Sim, r *Request) {
+	p.k++
+	lv := s.Ladder().Levels()
+	s.PlanFreqChange(s.Now()+2, lv[p.k%len(lv)])
+	s.PlanFreqChange(s.Now()+8, cpu.FDefault)
+}
+func (p *timerHeavyPolicy) OnStart(*Sim, *Request)     {}
+func (p *timerHeavyPolicy) OnDeparture(*Sim, *Request) {}
+func (p *timerHeavyPolicy) OnTimer(s *Sim, tag int64) {
+	// Re-arm unconditionally: the engine terminates re-arming timers once
+	// every request is served and the workload horizon has passed.
+	s.SetTimer(s.Now()+timerHeavySlots, tag)
+}
+
+// benchClusterLarge is the hundreds-of-ISNs cluster benchmark behind the
+// checked-in BENCH_sim.json numbers: 288 cores (24 sockets of 12 ISNs) fed
+// 100k requests, a timer-heavy controller per core. The workload is built
+// per iteration outside the timed region; the timed region is dispatch,
+// engine execution, and the deterministic merge.
+func benchClusterLarge(b *testing.B, engine Engine, workers int) {
+	b.ReportAllocs()
+	const cores = 288
+	const n = 100000
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := BenchWorkloadRate(n, int64(i), 25.0/float64(cores))
+		cfg := DefaultConfig()
+		cfg.Engine = engine
+		b.StartTimer()
+		cr := RunClusterWorkers(cfg, wl, cores, workers, func(int) Policy { return &timerHeavyPolicy{} })
+		events += cr.Events
+	}
+	reportEventsPerSec(b, events)
+}
+
+func BenchmarkClusterLargeLinear(b *testing.B)   { benchClusterLarge(b, EngineLinear, 1) }
+func BenchmarkClusterLargeCalendar(b *testing.B) { benchClusterLarge(b, EngineCalendar, 1) }
+func BenchmarkClusterLargeSharded(b *testing.B) {
+	benchClusterLarge(b, EngineCalendar, par.DefaultWorkers())
 }

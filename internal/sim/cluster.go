@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"sort"
-
 	"gemini/internal/cpu"
+	"gemini/internal/par"
 	"gemini/internal/stats"
+	"gemini/internal/telemetry"
 )
 
 // Cluster support: the paper's multi-core plan (§V) — "maintain a separate
@@ -15,7 +15,10 @@ import (
 // The broker dispatches on least-expected-work: it tracks a virtual finish
 // time per core (advanced by each request's base service time at the default
 // frequency) and routes every arrival to the core that would start it
-// soonest. Each core then runs as an independent single-ISN simulation.
+// soonest. Each core then runs as an independent single-ISN simulation —
+// which is what makes sharded execution exact: cores share nothing at
+// simulation time, so RunClusterWorkers can run them on OS threads and merge
+// deterministically, byte-identical to the serial core-by-core run.
 
 // ClusterResult aggregates the per-core results of a dispatched run.
 type ClusterResult struct {
@@ -25,36 +28,95 @@ type ClusterResult struct {
 	Completed  int
 	Dropped    int
 	Violations int
+	Events     uint64 // dispatched engine events summed over cores
 	EnergyMJ   float64
 	DurationMs float64
 	Latencies  []float64 // merged, sorted
 }
 
 // RunCluster partitions the workload over `cores` queues with the broker and
-// simulates each core with its own policy instance from mkPolicy.
+// simulates each core with its own policy instance from mkPolicy, serially.
 func RunCluster(cfg Config, wl *Workload, cores int, mkPolicy func(core int) Policy) *ClusterResult {
+	return RunClusterWorkers(cfg, wl, cores, 1, mkPolicy)
+}
+
+// RunClusterWorkers is RunCluster sharded over `workers` OS threads. Cores
+// are independent simulations, so the parallel run is byte-identical to the
+// serial one: per-core Results are deterministic functions of their
+// partition, aggregation walks cores in index order, and telemetry is
+// captured per core (private tracer/accumulator) and replayed into the
+// caller's cfg.Tracer/cfg.Spans in core order — the exact emission sequence
+// of the serial run (TestClusterWorkersMatchesSerial asserts this).
+//
+// mkPolicy is called once per core, possibly concurrently; it must be safe
+// for concurrent use and the returned policies must not share mutable state.
+func RunClusterWorkers(cfg Config, wl *Workload, cores, workers int, mkPolicy func(core int) Policy) *ClusterResult {
 	if cores < 1 {
 		cores = 1
 	}
 	parts := Dispatch(wl, cores)
-	cr := &ClusterResult{DurationMs: wl.DurationMs}
-	for c := 0; c < cores; c++ {
-		res := Run(cfg, parts[c], mkPolicy(c))
-		cr.PerCore = append(cr.PerCore, res)
+	results := make([]*Result, cores)
+
+	if workers > 1 && (cfg.Tracer != nil || cfg.Spans != nil) {
+		// Telemetry sinks are shared mutable state: concurrent cores would
+		// interleave emissions nondeterministically. Capture per core, replay
+		// in core order below.
+		tracers := make([]*telemetry.Tracer, cores)
+		spans := make([]*telemetry.SpanTracer, cores)
+		par.Run(workers, cores, func(c int) {
+			ccfg := cfg
+			if cfg.Tracer != nil {
+				// One decision per request (completion or drop), so the
+				// private ring never evicts.
+				tracers[c] = telemetry.NewTracer(len(parts[c].Requests))
+				ccfg.Tracer = tracers[c]
+			}
+			if cfg.Spans != nil {
+				spans[c] = telemetry.NewSpanAccumulator()
+				ccfg.Spans = spans[c]
+			}
+			results[c] = Run(ccfg, parts[c], mkPolicy(c))
+		})
+		for c := 0; c < cores; c++ {
+			if tracers[c] != nil {
+				for _, d := range tracers[c].Ring().Snapshot(0) {
+					cfg.Tracer.Emit(d) // re-stamps Seq in serial order
+				}
+			}
+			if spans[c] != nil {
+				cfg.Spans.EmitBatch(spans[c].Spans())
+			}
+		}
+	} else {
+		par.Run(workers, cores, func(c int) {
+			results[c] = Run(cfg, parts[c], mkPolicy(c))
+		})
+	}
+
+	cr := &ClusterResult{DurationMs: wl.DurationMs, PerCore: results}
+	lats := make([][]float64, cores)
+	for c, res := range results {
 		cr.Total += res.Total
 		cr.Completed += res.Completed
 		cr.Dropped += res.Dropped
 		cr.Violations += res.Violations
+		cr.Events += res.Events
 		cr.EnergyMJ += res.EnergyMJ
-		cr.Latencies = append(cr.Latencies, res.Latencies...)
+		lats[c] = res.Latencies
 	}
-	sort.Float64s(cr.Latencies)
+	cr.Latencies = mergeSorted(lats)
 	return cr
 }
 
 // Dispatch splits a workload into per-core workloads using the
 // least-expected-work broker. Request objects are shared (not copied); a
 // workload must not be dispatched and also run directly.
+//
+// The broker keeps the cores in a binary min-heap keyed (vFinish, coreIdx):
+// the lexicographic minimum is exactly the first minimal index a linear scan
+// with strict less-than would pick, and only the root's key changes per
+// request, so each dispatch is one O(log cores) sift-down instead of an
+// O(cores) scan (TestDispatchHeapMatchesLinear checks the equivalence).
 func Dispatch(wl *Workload, cores int) []*Workload {
 	parts := make([]*Workload, cores)
 	for c := range parts {
@@ -62,22 +124,136 @@ func Dispatch(wl *Workload, cores int) []*Workload {
 		// per-core part can share the parent workload's table directly.
 		parts[c] = &Workload{BudgetMs: wl.BudgetMs, DurationMs: wl.DurationMs, Preds: wl.Preds}
 	}
-	vFinish := make([]float64, cores)
+	// hv/hc form the heap: hv is the virtual finish time, hc the core index.
+	// The initial layout (all zeros, cores in index order) is already a valid
+	// heap: equal keys tie-break on hc, and parent indices precede children.
+	hv := make([]float64, cores)
+	hc := make([]int, cores)
+	for c := range hc {
+		hc[c] = c
+	}
 	for _, r := range wl.Requests {
-		best := 0
-		for c := 1; c < cores; c++ {
-			if vFinish[c] < vFinish[best] {
-				best = c
-			}
-		}
+		best := hc[0]
 		start := r.ArrivalMs
-		if vFinish[best] > start {
-			start = vFinish[best]
+		if hv[0] > start {
+			start = hv[0]
 		}
-		vFinish[best] = start + cpu.TimeFor(r.BaseWork, cpu.FDefault)
+		hv[0] = start + cpu.TimeFor(r.BaseWork, cpu.FDefault)
 		parts[best].Requests = append(parts[best].Requests, r)
+		brokerSiftDown(hv, hc)
 	}
 	return parts
+}
+
+// brokerSiftDown restores the heap property after the root's key grew.
+//
+//gemini:hotpath
+func brokerSiftDown(hv []float64, hc []int) {
+	n := len(hv)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && brokerLess(hv, hc, r, l) {
+			m = r
+		}
+		if !brokerLess(hv, hc, m, i) {
+			return
+		}
+		hv[i], hv[m] = hv[m], hv[i]
+		hc[i], hc[m] = hc[m], hc[i]
+		i = m
+	}
+}
+
+// brokerLess orders heap slots by (vFinish, coreIdx).
+//
+//gemini:hotpath
+func brokerLess(hv []float64, hc []int, i, j int) bool {
+	//gemini:allow floatcmp -- exact vFinish ties pick the lowest core index, matching the scan broker
+	if hv[i] != hv[j] {
+		return hv[i] < hv[j]
+	}
+	return hc[i] < hc[j]
+}
+
+// mergeSorted k-way merges already-sorted float slices. Equal values carry
+// identical bit patterns here (latencies are finite and non-negative), so the
+// output is byte-identical to sorting the concatenation — at O(N log k)
+// instead of O(N log N), which matters when merging hundreds of cores.
+func mergeSorted(lists [][]float64) []float64 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, 0, total)
+	// Cursor heap keyed (current value, list index).
+	type cursor struct {
+		v  float64
+		li int
+		i  int
+	}
+	h := make([]cursor, 0, len(lists))
+	less := func(a, b cursor) bool {
+		//gemini:allow floatcmp -- exact latency ties across cores are fine either way; broken by list index
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.li < b.li
+	}
+	push := func(c cursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i, n := 0, len(h)
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			m := l
+			if r := l + 1; r < n && less(h[r], h[l]) {
+				m = r
+			}
+			if !less(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for li, l := range lists {
+		if len(l) > 0 {
+			push(cursor{v: l[0], li: li})
+		}
+	}
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, c.v)
+		if c.i+1 < len(lists[c.li]) {
+			h[0] = cursor{v: lists[c.li][c.i+1], li: c.li, i: c.i + 1}
+			siftDown()
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			siftDown()
+		}
+	}
+	return out
 }
 
 // ViolationRate returns the fraction of all requests that missed deadlines.

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gemini/internal/cpu"
+)
+
+// drain pops every live event and returns them in dispatch order.
+func drain(q *eventQueue) []qevent {
+	var out []qevent
+	for !q.empty() {
+		out = append(out, q.pop())
+	}
+	return out
+}
+
+func TestEventQueueOrdersByAtKindSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	q.initialize()
+	// Quantized timestamps force heavy (at) ties; kinds and seq must break
+	// them: planned before timer at the same instant, insertion order within
+	// a kind.
+	for i := 0; i < 500; i++ {
+		at := float64(rng.Intn(40))
+		if rng.Intn(2) == 0 {
+			q.pushPlanned(at, cpu.Freq(i))
+		} else {
+			q.pushTimer(at, int64(i))
+		}
+	}
+	got := drain(&q)
+	if len(got) != 500 {
+		t.Fatalf("drained %d events, want 500", len(got))
+	}
+	want := append([]qevent(nil), got...)
+	sort.SliceStable(want, func(i, j int) bool { return qless(&want[i], &want[j]) })
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order diverges at %d: got {at=%v kind=%d seq=%d}, want {at=%v kind=%d seq=%d}",
+				i, got[i].at, got[i].kind, got[i].seq, want[i].at, want[i].kind, want[i].seq)
+		}
+	}
+}
+
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	// Pops interleaved with pushes must deliver non-decreasing timestamps
+	// as long as inserts never land before the clock (the engine clamps
+	// them). Kind/seq may step "backwards" at one instant when a new event
+	// is inserted at the current clock — that is the same-instant dispatch
+	// semantics, not a violation.
+	var q eventQueue
+	q.initialize()
+	rng := rand.New(rand.NewSource(7))
+	clock := 0.0 // engine invariant: inserts are clamped to the clock
+	var popped []qevent
+	for i := 0; i < 2000; i++ {
+		if q.empty() || rng.Intn(3) > 0 {
+			at := clock + float64(rng.Intn(20))
+			if rng.Intn(2) == 0 {
+				q.pushPlanned(at, cpu.FDefault)
+			} else {
+				q.pushTimer(at, 1)
+			}
+		} else {
+			e := q.pop()
+			if n := len(popped); n > 0 && e.at < popped[n-1].at {
+				t.Fatalf("pop %d went back in time: at=%v after at=%v",
+					len(popped), e.at, popped[n-1].at)
+			}
+			popped = append(popped, e)
+			clock = e.at
+		}
+	}
+}
+
+func TestEventQueueMatchesBruteForce(t *testing.T) {
+	// Property test: every pop must equal the brute-force minimum over a
+	// shadow copy of the live events, across many interleaving seeds. This is
+	// the check that caught a real bug during development — a float-edge
+	// timestamp falling between the sweep window and its bucket assignment —
+	// so keep it brute-force-simple.
+	for seed := int64(1); seed <= 50; seed++ {
+		var q eventQueue
+		q.initialize()
+		rng := rand.New(rand.NewSource(seed))
+		clock := 0.0
+		var shadow []qevent // all live events, unordered
+		for i := 0; i < 2000; i++ {
+			if q.empty() || rng.Intn(3) > 0 {
+				at := clock + float64(rng.Intn(20))
+				if rng.Intn(2) == 0 {
+					q.pushPlanned(at, cpu.FDefault)
+					shadow = append(shadow, qevent{at: at, kind: qkPlanned, seq: q.seq})
+				} else {
+					q.pushTimer(at, 1)
+					shadow = append(shadow, qevent{at: at, kind: qkTimer, seq: q.seq})
+				}
+			} else {
+				e := q.pop()
+				best := 0
+				for j := 1; j < len(shadow); j++ {
+					if qless(&shadow[j], &shadow[best]) {
+						best = j
+					}
+				}
+				if shadow[best].at != e.at || shadow[best].kind != e.kind || shadow[best].seq != e.seq {
+					t.Fatalf("seed %d op %d: pop = {at=%v kind=%d seq=%d}, brute-force min = {at=%v kind=%d seq=%d}",
+						seed, i, e.at, e.kind, e.seq, shadow[best].at, shadow[best].kind, shadow[best].seq)
+				}
+				shadow = append(shadow[:best], shadow[best+1:]...)
+				clock = e.at
+			}
+		}
+	}
+}
+
+func TestEventQueueRewindOnEarlierInsert(t *testing.T) {
+	var q eventQueue
+	q.initialize()
+	q.pushTimer(100, 1)
+	if at, _, ok := q.peek(); !ok || at != 100 {
+		t.Fatalf("peek = %v, %v", at, ok)
+	}
+	// The peek swept the calendar forward; an earlier insert must rewind it.
+	q.pushPlanned(3, cpu.FDefault)
+	if at, kind, ok := q.peek(); !ok || at != 3 || kind != qkPlanned {
+		t.Fatalf("after earlier insert: peek = %v kind=%d ok=%v, want 3/planned", at, kind, ok)
+	}
+	if e := q.pop(); e.at != 3 {
+		t.Fatalf("pop = %v, want 3", e.at)
+	}
+	if e := q.pop(); e.at != 100 {
+		t.Fatalf("pop = %v, want 100", e.at)
+	}
+}
+
+func TestEventQueueClearPlanned(t *testing.T) {
+	var q eventQueue
+	q.initialize()
+	q.pushPlanned(5, cpu.FDefault)
+	q.pushTimer(6, 42)
+	q.pushPlanned(7, cpu.FMax)
+	q.clearPlanned()
+	q.pushPlanned(8, cpu.FMin)
+	got := drain(&q)
+	if len(got) != 2 {
+		t.Fatalf("drained %d events, want 2 (timer + post-clear planned)", len(got))
+	}
+	if got[0].kind != qkTimer || got[0].tag != 42 {
+		t.Fatalf("first = %+v, want the timer", got[0])
+	}
+	if got[1].kind != qkPlanned || got[1].freq != cpu.FMin {
+		t.Fatalf("second = %+v, want the post-clear planned change", got[1])
+	}
+}
+
+func TestEventQueueClearIsolation(t *testing.T) {
+	// Stale planned events must never resurface even across resizes.
+	var q eventQueue
+	q.initialize()
+	rng := rand.New(rand.NewSource(3))
+	live := 0
+	for i := 0; i < 300; i++ {
+		q.pushPlanned(float64(rng.Intn(1000)), cpu.FDefault)
+		live++
+		if rng.Intn(5) == 0 {
+			q.clearPlanned()
+			live = 0
+		}
+		q.pushTimer(float64(rng.Intn(1000)), int64(i))
+	}
+	got := drain(&q)
+	timers, planned := 0, 0
+	for _, e := range got {
+		if e.kind == qkTimer {
+			timers++
+		} else {
+			planned++
+		}
+	}
+	if timers != 300 {
+		t.Fatalf("drained %d timers, want 300", timers)
+	}
+	if planned != live {
+		t.Fatalf("drained %d planned, want %d live after last clear", planned, live)
+	}
+}
+
+func TestEventQueueStaleStorageBounded(t *testing.T) {
+	// Plan/clear churn without any pops (a policy replanning every arrival)
+	// must not accumulate unbounded stale entries: compaction keeps stored
+	// within a constant factor of the live population.
+	var q eventQueue
+	q.initialize()
+	for i := 0; i < 100000; i++ {
+		q.pushPlanned(float64(i%977), cpu.FDefault)
+		q.clearPlanned()
+	}
+	if q.stored > 4*q.n+64+1 {
+		t.Fatalf("stored %d entries for %d live events", q.stored, q.n)
+	}
+}
+
+func TestEventQueueFarEvents(t *testing.T) {
+	var q eventQueue
+	q.initialize()
+	q.pushTimer(math.Inf(1), 9)
+	q.pushTimer(1e18, 8)
+	q.pushTimer(5, 1)
+	q.pushPlanned(math.NaN(), cpu.FMax) // dropped: never dispatches anywhere
+	got := drain(&q)
+	if len(got) != 3 {
+		t.Fatalf("drained %d events, want 3", len(got))
+	}
+	if got[0].tag != 1 || got[1].tag != 8 || !math.IsInf(got[2].at, 1) {
+		t.Fatalf("far ordering wrong: %+v", got)
+	}
+}
+
+func TestEventQueueResizeGrowShrink(t *testing.T) {
+	var q eventQueue
+	q.initialize()
+	for i := 0; i < 5000; i++ {
+		q.pushTimer(float64(i)*0.25, int64(i))
+	}
+	if len(q.buckets) == 8 {
+		t.Fatalf("bucket table never grew for 5000 events")
+	}
+	for i := 0; i < 4990; i++ {
+		q.pop()
+	}
+	// Push a couple more to trigger the shrink watermark check.
+	q.pushTimer(1e6, -1)
+	q.pushTimer(1e6+1, -2)
+	if len(q.buckets) > 64 {
+		t.Fatalf("bucket table did not shrink: %d buckets for %d events", len(q.buckets), q.n)
+	}
+	rest := drain(&q)
+	if len(rest) != 12 {
+		t.Fatalf("drained %d, want 12", len(rest))
+	}
+	for i := 1; i < len(rest); i++ {
+		if qless(&rest[i], &rest[i-1]) {
+			t.Fatalf("order violated after resizes at %d", i)
+		}
+	}
+}
+
+func TestEventQueueSteadyStateAllocFree(t *testing.T) {
+	// Push/pop churn at a stable population must not allocate: buckets
+	// recycle their backing arrays (the //gemini:hotpath contract).
+	var q eventQueue
+	q.initialize()
+	for i := 0; i < 64; i++ {
+		q.pushTimer(float64(i), int64(i))
+	}
+	clock := 0.0
+	allocs := testing.AllocsPerRun(2000, func() {
+		e := q.pop()
+		clock = e.at
+		q.pushTimer(clock+64, e.tag)
+	})
+	if allocs > 0.01 {
+		t.Fatalf("steady-state push/pop allocates %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -29,6 +29,12 @@ type Result struct {
 	// order.
 	Latencies []float64
 
+	// Events counts dispatched engine events (completions, planned changes,
+	// arrivals, timers) — the denominator of the events/sec throughput
+	// metric the engine benchmarks report. Identical across engine
+	// implementations by construction (the differential tests assert it).
+	Events uint64
+
 	// Core-level energy metrics.
 	EnergyMJ    float64
 	AvgCorePowW float64

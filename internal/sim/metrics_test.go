@@ -39,7 +39,7 @@ func TestLatenciesSortedContract(t *testing.T) {
 		})
 	}
 	wl.DurationMs = at + 200
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: 1.4})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: 1.4})
 	if len(res.Latencies) == 0 {
 		t.Fatal("no latencies recorded")
 	}
@@ -73,7 +73,7 @@ func TestTracerEmitsOneDecisionPerRequest(t *testing.T) {
 	tr := telemetry.NewTracer(1024)
 	cfg := DefaultConfig()
 	cfg.Tracer = tr
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 
 	if got := int(tr.Emitted()); got != res.Completed+res.Dropped {
 		t.Fatalf("decisions = %d, want completed+dropped = %d", got, res.Completed+res.Dropped)
@@ -202,7 +202,7 @@ func TestTelemetryDisabledAddsNoAllocsPerRequest(t *testing.T) {
 			r.StartMs, r.FinishMs, r.WorkDone = 0, 0, 0
 		}
 	}
-	pol := &fixedPolicy{f: cpu.FDefault}
+	pol := &FixedPolicy{F: cpu.FDefault}
 	allocsA := testing.AllocsPerRun(20, func() { reset(wlA); Run(cfg, wlA, pol) })
 	allocsB := testing.AllocsPerRun(20, func() { reset(wlB); Run(cfg, wlB, pol) })
 	perReq := (allocsB - allocsA) / float64(n)

@@ -42,6 +42,11 @@ type Request struct {
 	// request (diagnostics only; the simulator ignores them).
 	PredictedMs float64
 	PredErrMs   float64
+
+	// poolIdx is the request's index into the engine's struct-of-arrays pool
+	// (its position in the workload), stamped by requestPool.load at the
+	// start of every run.
+	poolIdx int32
 }
 
 // LatencyMs returns completion latency (finish − arrival); for dropped

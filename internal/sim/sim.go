@@ -28,11 +28,31 @@ type Policy interface {
 	OnTimer(s *Sim, tag int64)
 }
 
+// Engine selects the event-engine implementation backing a run.
+type Engine uint8
+
+const (
+	// EngineCalendar (the zero value, and the default) dispatches
+	// policy-scheduled events through the indexed calendar queue — O(1)
+	// amortized insert/extract, no linear scans or slice splices.
+	EngineCalendar Engine = iota
+	// EngineLinear is the original linear-scan reference engine: every
+	// nextEvent scans the planned-change and timer lists. It is retained
+	// solely so equivalence with the calendar engine stays machine-checked
+	// (see TestEnginesEquivalent and FuzzEngineEquivalence); production and
+	// experiment paths must not select it.
+	EngineLinear
+)
+
 // Config parameterizes one simulation run.
 type Config struct {
 	Ladder  *cpu.Ladder
 	Power   *cpu.PowerModel
 	TdvfsMs float64
+	// Engine selects the event-engine implementation (test/bench use only;
+	// the zero value is the production calendar engine). Both engines
+	// produce byte-identical results, traces, and decision logs.
+	Engine Engine
 	// StartFreq is the core's frequency at time zero (FDefault if zero).
 	StartFreq cpu.Freq
 	// PredictOverheadMs, when positive, stalls the core on every arrival to
@@ -77,14 +97,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// plannedChange / timerEvent are the reference linear engine's event records.
+// seq is the insertion index: the dispatch tie-break for same-instant events
+// of the same kind, which under the historical splice-on-dispatch scheme was
+// implicit in slice position. Carrying it explicitly lets dispatch swap-remove
+// in O(1) while preserving the exact historical order.
 type plannedChange struct {
 	at   float64
 	freq cpu.Freq
+	seq  uint64
 }
 
 type timerEvent struct {
 	at  float64
 	tag int64
+	seq uint64
 }
 
 // Sim is the event-driven ISN simulator. Policies receive it in callbacks
@@ -107,6 +134,20 @@ type Sim struct {
 	qhead   int
 	nextArr int // cursor into wl.Requests
 
+	// pool is the struct-of-arrays repack of the per-event request state;
+	// headIdx/headStarted cache the executing head's pool index and started
+	// flag so completionTime and advanceTo touch no *Request pointer.
+	pool        requestPool
+	headIdx     int32
+	headStarted bool
+
+	// events is the calendar queue holding planned changes and timers
+	// (default engine); linear selects the reference engine, which keeps
+	// them in the planned/timers slices instead (evSeq is its insertion
+	// counter).
+	events  eventQueue
+	linear  bool
+	evSeq   uint64
 	planned []plannedChange
 	timers  []timerEvent
 
@@ -177,7 +218,13 @@ func Run(cfg Config, wl *Workload, pol Policy) *Result {
 		seriesRes: cfg.PowerSeriesResMs,
 		tr:        cfg.Tracer,
 		sp:        cfg.Spans,
+		linear:    cfg.Engine == EngineLinear,
+		headIdx:   -1,
 		res:       newResult(pol.Name(), wl),
+	}
+	s.pool.load(wl.Requests)
+	if !s.linear {
+		s.events.initialize()
 	}
 	if s.tr != nil {
 		s.pending = make(map[*Request]*telemetry.Decision)
@@ -250,6 +297,36 @@ func (s *Sim) popHead() {
 		s.queue = s.queue[:n]
 		s.qhead = 0
 	}
+	s.refreshHead()
+}
+
+// refreshHead re-caches the executing head's pool index and started flag
+// after any queue-front mutation.
+//
+//gemini:hotpath
+func (s *Sim) refreshHead() {
+	if s.qlen() == 0 {
+		s.headIdx = -1
+		s.headStarted = false
+		return
+	}
+	h := s.queue[s.qhead]
+	s.headIdx = h.poolIdx
+	s.headStarted = h.Started
+}
+
+// syncHead flushes the executing head's accrued work from the pool back to
+// its Request struct. Called before every policy callback so policies reading
+// Queue()[0].WorkDone (Gemini's binding test, Rubik's residual estimate) see
+// the live value, exactly as they did when the engine accrued into the struct
+// directly.
+//
+//gemini:hotpath
+func (s *Sim) syncHead() {
+	if s.headStarted {
+		h := s.queue[s.qhead]
+		h.WorkDone = s.pool.workDone[s.headIdx]
+	}
 }
 
 // SetFreq switches the core to f immediately; a change away from the
@@ -290,21 +367,43 @@ func (s *Sim) markPhase() {
 // PlanFreqChange schedules a frequency switch at the given absolute time.
 // Past times apply on the next event dispatch.
 //
+// The calendar engine clamps the timestamp to the present at insertion; the
+// reference engine clamps at every scan. The two are equivalent: while a
+// past-due event is pending the clock cannot advance past it (its effective
+// time is always the minimum), so the insertion-time clamp equals the
+// scan-time clamp at dispatch.
+//
 //gemini:hotpath
 func (s *Sim) PlanFreqChange(atMs float64, f cpu.Freq) {
-	s.planned = append(s.planned, plannedChange{at: atMs, freq: f})
+	if s.linear {
+		s.evSeq++
+		s.planned = append(s.planned, plannedChange{at: atMs, freq: f, seq: s.evSeq})
+		return
+	}
+	s.events.pushPlanned(math.Max(atMs, s.now), f)
 }
 
 // ClearPlannedChanges cancels all scheduled frequency switches.
 //
 //gemini:hotpath
-func (s *Sim) ClearPlannedChanges() { s.planned = s.planned[:0] }
+func (s *Sim) ClearPlannedChanges() {
+	if s.linear {
+		s.planned = s.planned[:0]
+		return
+	}
+	s.events.clearPlanned()
+}
 
 // SetTimer schedules an OnTimer callback at the given absolute time.
 //
 //gemini:hotpath
 func (s *Sim) SetTimer(atMs float64, tag int64) {
-	s.timers = append(s.timers, timerEvent{at: atMs, tag: tag})
+	if s.linear {
+		s.evSeq++
+		s.timers = append(s.timers, timerEvent{at: atMs, tag: tag, seq: s.evSeq})
+		return
+	}
+	s.events.pushTimer(math.Max(atMs, s.now), tag)
 }
 
 // Stall blocks the core for the given duration (prediction overhead).
@@ -345,6 +444,11 @@ func (s *Sim) Drop(r *Request) {
 		}
 		r.Dropped = true
 		r.FinishMs = s.now
+		if r.Started {
+			// Flush the accrued progress so post-mortem consumers see the
+			// same WorkDone the struct-accruing engine left behind.
+			r.WorkDone = s.pool.workDone[r.poolIdx]
+		}
 		wasHead := i == s.qhead
 		if wasHead {
 			s.popHead()
@@ -503,82 +607,84 @@ const (
 
 //gemini:hotpath
 func (s *Sim) loop() {
+	if s.linear {
+		s.loopLinear()
+		return
+	}
 	for {
-		kind, at, idx := s.nextEvent()
+		kind, at := s.nextEvent()
 		if kind == evNone {
 			return
 		}
+		s.res.Events++
 		s.advanceTo(at)
 		switch kind {
 		case evCompletion:
 			s.completeHead()
 		case evPlanned:
-			pc := s.planned[idx]
-			s.planned = append(s.planned[:idx], s.planned[idx+1:]...)
-			s.SetFreq(pc.freq)
+			e := s.events.pop()
+			s.SetFreq(e.freq)
 		case evArrival:
 			r := s.wl.Requests[s.nextArr]
 			s.nextArr++
 			s.arrive(r)
 		case evTimer:
-			tm := s.timers[idx]
-			s.timers = append(s.timers[:idx], s.timers[idx+1:]...)
-			s.pol.OnTimer(s, tm.tag)
+			e := s.events.pop()
+			s.syncHead()
+			s.pol.OnTimer(s, e.tag)
 		}
 	}
 }
 
 // nextEvent picks the earliest pending event; ties break by the priority
 // completion < planned < arrival < timer so departures free the server
-// before a simultaneous arrival is observed.
+// before a simultaneous arrival is observed. The completion candidate is
+// derived from the executing head, the arrival candidate from the workload
+// cursor, and the policy-scheduled candidates (planned changes, timers) from
+// the calendar queue's minimum — whose key already encodes the
+// (timestamp, kind, seq) contract.
 //
 //gemini:hotpath
-func (s *Sim) nextEvent() (kind int, at float64, idx int) {
-	kind, at, idx = evNone, math.Inf(1), -1
+func (s *Sim) nextEvent() (kind int, at float64) {
+	kind, at = evNone, math.Inf(1)
 
 	if c := s.completionTime(); c < at {
 		kind, at = evCompletion, c
 	}
-	for i, pc := range s.planned {
-		t := math.Max(pc.at, s.now)
-		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
-		if t < at || (t == at && kind > evPlanned) {
-			kind, at, idx = evPlanned, t, i
-		}
-	}
-	if s.nextArr < len(s.wl.Requests) {
-		t := s.wl.Requests[s.nextArr].ArrivalMs
+	if s.nextArr < len(s.pool.arrivalMs) {
+		t := s.pool.arrivalMs[s.nextArr]
 		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
 		if t < at || (t == at && kind > evArrival) {
-			kind, at, idx = evArrival, t, -1
+			kind, at = evArrival, t
 		}
 	}
-	for i, tm := range s.timers {
-		t := math.Max(tm.at, s.now)
+	if qat, qk, ok := s.events.peek(); ok {
 		//gemini:allow floatcmp -- exact timestamp ties are the common same-instant case; broken by event-kind priority
-		if t < at || (t == at && kind > evTimer) {
-			kind, at, idx = evTimer, t, i
+		if qat < at || (qat == at && kind > int(qk)) {
+			kind, at = int(qk), qat
 		}
 	}
 	// Timers beyond the workload horizon with nothing left to do would spin
 	// the loop forever in policies that always re-arm (Pegasus): stop once
 	// all requests have been served and the horizon is passed.
 	if kind == evTimer && s.nextArr >= len(s.wl.Requests) && s.qlen() == 0 && at > s.wl.DurationMs {
-		return evNone, 0, -1
+		return evNone, 0
 	}
-	return kind, at, idx
+	return kind, at
 }
 
 // completionTime returns when the executing request will finish under the
-// current frequency and stall state (+Inf if the server is idle).
+// current frequency and stall state (+Inf if the server is idle). It reads
+// the head's remaining work from the pool through the cached index — no
+// pointer chase.
 //
 //gemini:hotpath
 func (s *Sim) completionTime() float64 {
-	if s.qlen() == 0 || !s.head().Started {
+	if !s.headStarted {
 		return math.Inf(1)
 	}
 	t0 := math.Max(s.now, s.stallUntil)
-	return t0 + cpu.TimeFor(s.head().Remaining(), s.freq)
+	return t0 + cpu.TimeFor(s.pool.remaining(s.headIdx), s.freq)
 }
 
 // advanceTo moves simulated time forward, accruing head-request progress and
@@ -600,8 +706,8 @@ func (s *Sim) advanceTo(t float64) {
 	// Segment 2: executing.
 	if t > s.now {
 		dt := t - s.now
-		if busy && s.head().Started {
-			s.head().WorkDone += cpu.WorkFor(dt, s.freq)
+		if busy && s.headStarted {
+			s.pool.workDone[s.headIdx] += cpu.WorkFor(dt, s.freq)
 		}
 		s.accrue(dt, busy)
 		s.now = t
@@ -645,6 +751,9 @@ func (s *Sim) accrue(dt float64, busy bool) {
 //gemini:hotpath
 func (s *Sim) arrive(r *Request) {
 	s.queue = append(s.queue, r)
+	if s.qlen() == 1 {
+		s.refreshHead()
+	}
 	if s.tr != nil {
 		s.pending[r] = &telemetry.Decision{
 			RequestID:  r.ID,
@@ -664,6 +773,7 @@ func (s *Sim) arrive(r *Request) {
 	if s.tr != nil {
 		preEnergy, preTrans = s.acc.EnergyMJ(), s.transitions
 	}
+	s.syncHead()
 	s.pol.OnArrival(s, r)
 	// OnArrival may have dropped the request.
 	if s.qlen() > 0 && s.head() == r && !r.Started && !r.Dropped {
@@ -679,6 +789,8 @@ func (s *Sim) startHead() {
 	head := s.head()
 	head.Started = true
 	head.StartMs = s.now
+	s.headIdx = head.poolIdx
+	s.headStarted = true
 	if s.tr != nil {
 		// Snapshot before OnStart so the transitions and energy its plan
 		// application incurs are attributed to this request — unless an

@@ -9,16 +9,6 @@ import (
 	"gemini/internal/cpu"
 )
 
-// fixedPolicy pins one frequency at Init and never changes it.
-type fixedPolicy struct{ f cpu.Freq }
-
-func (p *fixedPolicy) Name() string               { return "fixed" }
-func (p *fixedPolicy) Init(s *Sim)                { s.SetFreq(p.f) }
-func (p *fixedPolicy) OnArrival(*Sim, *Request)   {}
-func (p *fixedPolicy) OnStart(*Sim, *Request)     {}
-func (p *fixedPolicy) OnDeparture(*Sim, *Request) {}
-func (p *fixedPolicy) OnTimer(*Sim, int64)        {}
-
 // hookPolicy lets tests inject behavior per callback.
 type hookPolicy struct {
 	init        func(*Sim)
@@ -73,7 +63,7 @@ func mkWorkload(budget, duration float64, reqs ...[2]float64) *Workload {
 func TestSingleRequestAtDefault(t *testing.T) {
 	// 27 GHz·ms at 2.7 GHz = 10 ms service.
 	wl := mkWorkload(40, 100, [2]float64{5, 27})
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	if res.Completed != 1 || res.Dropped != 0 {
 		t.Fatalf("completed=%d dropped=%d", res.Completed, res.Dropped)
 	}
@@ -95,7 +85,7 @@ func TestSingleRequestAtDefault(t *testing.T) {
 func TestFrequencyScalingSlowsRequest(t *testing.T) {
 	wl := mkWorkload(200, 300, [2]float64{0, 27})
 	cfg := DefaultConfig()
-	res := Run(cfg, wl, &fixedPolicy{f: 1.2})
+	res := Run(cfg, wl, &FixedPolicy{F: 1.2})
 	// One transition at t=0 (2.7 -> 1.2) stalls Tdvfs, then 27/1.2 = 22.5ms.
 	want := cfg.TdvfsMs + 27/1.2
 	if math.Abs(res.Latencies[0]-want) > 1e-9 {
@@ -109,7 +99,7 @@ func TestFrequencyScalingSlowsRequest(t *testing.T) {
 func TestFIFOQueueing(t *testing.T) {
 	// Two requests, second arrives while first executes.
 	wl := mkWorkload(100, 200, [2]float64{0, 27}, [2]float64{2, 13.5})
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	r0, r1 := wl.Requests[0], wl.Requests[1]
 	if math.Abs(r0.FinishMs-10) > 1e-9 {
 		t.Errorf("r0 finish = %v", r0.FinishMs)
@@ -244,7 +234,7 @@ func TestTimerFires(t *testing.T) {
 func TestViolationCounting(t *testing.T) {
 	// 27 work at 2.7 = 10 ms, but budget is 8 ms -> violation.
 	wl := mkWorkload(8, 100, [2]float64{0, 27})
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	if res.Violations != 1 || res.Completed != 1 {
 		t.Errorf("violations=%d completed=%d", res.Violations, res.Completed)
 	}
@@ -256,7 +246,7 @@ func TestViolationCounting(t *testing.T) {
 func TestEnergyAccounting(t *testing.T) {
 	wl := mkWorkload(50, 100, [2]float64{0, 27})
 	cfg := DefaultConfig()
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 	// 10 ms busy + 90 ms idle at 2.7 GHz.
 	m := cfg.Power
 	want := m.CoreW(2.7, true)*10 + m.CoreW(2.7, false)*90
@@ -274,8 +264,8 @@ func TestEnergyAccounting(t *testing.T) {
 func TestLowerFrequencySavesEnergyOnFixedWindow(t *testing.T) {
 	wl1 := mkWorkload(100, 200, [2]float64{0, 27})
 	wl2 := mkWorkload(100, 200, [2]float64{0, 27})
-	fast := Run(DefaultConfig(), wl1, &fixedPolicy{f: 2.7})
-	slow := Run(DefaultConfig(), wl2, &fixedPolicy{f: 1.4})
+	fast := Run(DefaultConfig(), wl1, &FixedPolicy{F: 2.7})
+	slow := Run(DefaultConfig(), wl2, &FixedPolicy{F: 1.4})
 	if slow.EnergyMJ >= fast.EnergyMJ {
 		t.Errorf("slow run energy %v >= fast %v", slow.EnergyMJ, fast.EnergyMJ)
 	}
@@ -285,7 +275,7 @@ func TestPowerSeries(t *testing.T) {
 	wl := mkWorkload(50, 100, [2]float64{0, 27})
 	cfg := DefaultConfig()
 	cfg.PowerSeriesResMs = 10
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 	if len(res.PowerSeriesW) != 10 {
 		t.Fatalf("series buckets = %d", len(res.PowerSeriesW))
 	}
@@ -307,7 +297,7 @@ func TestPredictionOverheadStallsCore(t *testing.T) {
 	wl := mkWorkload(50, 100, [2]float64{0, 27})
 	cfg := DefaultConfig()
 	cfg.PredictOverheadMs = 0.5
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 	if math.Abs(res.Latencies[0]-10.5) > 1e-9 {
 		t.Errorf("latency = %v, want 10.5", res.Latencies[0])
 	}
@@ -316,13 +306,13 @@ func TestPredictionOverheadStallsCore(t *testing.T) {
 func TestSocketPowerExtrapolation(t *testing.T) {
 	wl := mkWorkload(50, 100, [2]float64{0, 27})
 	cfg := DefaultConfig()
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 	want := cfg.Power.UncoreW + float64(cfg.Power.Cores)*res.AvgCorePowW
 	if math.Abs(res.SocketPowerW(cfg.Power)-want) > 1e-9 {
 		t.Errorf("socket power mismatch")
 	}
-	base := Run(DefaultConfig(), mkWorkload(50, 100, [2]float64{0, 27}), &fixedPolicy{f: 2.7})
-	slow := Run(DefaultConfig(), mkWorkload(50, 100, [2]float64{0, 27}), &fixedPolicy{f: 1.2})
+	base := Run(DefaultConfig(), mkWorkload(50, 100, [2]float64{0, 27}), &FixedPolicy{F: 2.7})
+	slow := Run(DefaultConfig(), mkWorkload(50, 100, [2]float64{0, 27}), &FixedPolicy{F: 1.2})
 	if s := slow.PowerSavingVs(base, cfg.Power); s <= 0 || s >= 1 {
 		t.Errorf("saving = %v", s)
 	}
@@ -331,7 +321,7 @@ func TestSocketPowerExtrapolation(t *testing.T) {
 func TestTailLatency(t *testing.T) {
 	wl := mkWorkload(100, 500,
 		[2]float64{0, 27}, [2]float64{50, 13.5}, [2]float64{100, 54}, [2]float64{200, 27})
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	if res.TailLatencyMs(100) != 20 {
 		t.Errorf("max latency = %v, want 20", res.TailLatencyMs(100))
 	}
@@ -359,7 +349,7 @@ func TestWorkConservationProperty(t *testing.T) {
 		}
 		wl := mkWorkload(10_000, at+1000, reqs...)
 		cfg := DefaultConfig()
-		res := Run(cfg, wl, &fixedPolicy{f: freq})
+		res := Run(cfg, wl, &FixedPolicy{F: freq})
 		if res.Completed != len(reqs) {
 			return false
 		}
@@ -384,7 +374,7 @@ func TestWorkConservationProperty(t *testing.T) {
 
 func TestZeroRequests(t *testing.T) {
 	wl := &Workload{BudgetMs: 40, DurationMs: 100}
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	if res.Completed != 0 || res.ViolationRate() != 0 || res.DropRate() != 0 {
 		t.Errorf("empty workload metrics: %+v", res)
 	}
@@ -481,7 +471,7 @@ func TestFreqTraceRecording(t *testing.T) {
 
 func TestFreqTraceDisabledByDefault(t *testing.T) {
 	wl := mkWorkload(100, 60, [2]float64{0, 27})
-	res := Run(DefaultConfig(), wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(DefaultConfig(), wl, &FixedPolicy{F: cpu.FDefault})
 	if res.FreqTrace != nil {
 		t.Error("trace recorded without RecordFreqTrace")
 	}

@@ -28,7 +28,7 @@ func (p *sleepPolicy) OnTimer(*Sim, int64) {}
 
 func TestSleepReducesIdleEnergy(t *testing.T) {
 	mk := func() *Workload { return mkWorkload(50, 1000, [2]float64{0, 27}) }
-	awake := Run(DefaultConfig(), mk(), &fixedPolicy{f: cpu.FDefault})
+	awake := Run(DefaultConfig(), mk(), &FixedPolicy{F: cpu.FDefault})
 	asleep := Run(DefaultConfig(), mk(), &sleepPolicy{powerW: 0.3, wakeMs: 0.3})
 	if asleep.EnergyMJ >= awake.EnergyMJ {
 		t.Fatalf("sleep energy %v >= awake %v", asleep.EnergyMJ, awake.EnergyMJ)

@@ -18,7 +18,7 @@ func TestSpansEmittedPerRequest(t *testing.T) {
 	sp := telemetry.NewSpanTracer(8 * len(wl.Requests))
 	cfg.Spans = sp
 
-	res := Run(cfg, wl, &fixedPolicy{f: cpu.FDefault})
+	res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
 	ids, byTrace := telemetry.GroupSpansByTrace(sp.Spans())
 	if len(ids) != res.Total {
 		t.Fatalf("traces = %d, want %d", len(ids), res.Total)
@@ -69,7 +69,7 @@ func TestSpansDisabledAddsNoAllocsPerRequest(t *testing.T) {
 			r.StartMs, r.FinishMs, r.WorkDone = 0, 0, 0
 		}
 	}
-	pol := &fixedPolicy{f: cpu.FDefault}
+	pol := &FixedPolicy{F: cpu.FDefault}
 	allocsA := testing.AllocsPerRun(20, func() { reset(wlA); Run(cfg, wlA, pol) })
 	allocsB := testing.AllocsPerRun(20, func() { reset(wlB); Run(cfg, wlB, pol) })
 	perReq := (allocsB - allocsA) / float64(n)

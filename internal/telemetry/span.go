@@ -48,11 +48,12 @@ func (s Span) Attr(name string) float64 { return s.Attrs[name] }
 // path and the disabled path allocates nothing (see
 // TestNilSpanTracerAllocFree and the sim benchmark pair).
 type SpanTracer struct {
-	mu    sync.Mutex
-	buf   []Span
-	next  int
-	full  bool
-	total uint64
+	mu        sync.Mutex
+	buf       []Span
+	next      int
+	full      bool
+	unbounded bool
+	total     uint64
 }
 
 // NewSpanTracer creates a tracer retaining up to capacity spans (min 1).
@@ -61,6 +62,15 @@ func NewSpanTracer(capacity int) *SpanTracer {
 		capacity = 1
 	}
 	return &SpanTracer{buf: make([]Span, capacity)}
+}
+
+// NewSpanAccumulator creates a tracer that retains every emitted span with no
+// ring bound. Sharded cluster runs capture each core's spans into a private
+// accumulator and replay them into the caller's (possibly bounded) tracer in
+// deterministic core order afterwards — a bounded intermediate would evict
+// early spans and diverge from the serial run's retention.
+func NewSpanAccumulator() *SpanTracer {
+	return &SpanTracer{unbounded: true}
 }
 
 // Emit records one span. Safe for concurrent use; nil-safe.
@@ -89,6 +99,12 @@ func (t *SpanTracer) EmitBatch(sps []Span) {
 
 // push appends under t.mu.
 func (t *SpanTracer) push(sp Span) {
+	if t.unbounded {
+		t.buf = append(t.buf, sp)
+		t.next = len(t.buf)
+		t.total++
+		return
+	}
 	t.buf[t.next] = sp
 	t.next++
 	if t.next == len(t.buf) {

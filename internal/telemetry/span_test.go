@@ -183,3 +183,50 @@ func TestTracesHandler(t *testing.T) {
 		t.Errorf("nil-tracer payload = %+v", payload)
 	}
 }
+
+func TestSpanAccumulatorUnbounded(t *testing.T) {
+	tr := NewSpanAccumulator()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Emit(spanN("t", i, float64(i), float64(i+1)))
+	}
+	if tr.Total() != n {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	got := tr.Spans()
+	if len(got) != n {
+		t.Fatalf("retained %d of %d — accumulator must never evict", len(got), n)
+	}
+	for i, s := range got {
+		if want := "s" + strconv.Itoa(i); s.SpanID != want {
+			t.Fatalf("span %d = %s, want %s (emission order)", i, s.SpanID, want)
+		}
+	}
+	if snap := tr.Snapshot(3); len(snap) != 3 || snap[2].SpanID != "s4999" {
+		t.Errorf("Snapshot(3) = %+v", snap)
+	}
+}
+
+func TestSpanAccumulatorReplayEqualsDirect(t *testing.T) {
+	// The sharded-cluster telemetry contract: capture into accumulators,
+	// replay via EmitBatch into a bounded ring — the ring must end up exactly
+	// as if the spans had been emitted directly.
+	direct := NewSpanTracer(8)
+	acc := NewSpanAccumulator()
+	for i := 0; i < 20; i++ {
+		sp := spanN("t", i, float64(i), float64(i+1))
+		direct.Emit(sp)
+		acc.Emit(sp)
+	}
+	replayed := NewSpanTracer(8)
+	replayed.EmitBatch(acc.Spans())
+	d, r := direct.Spans(), replayed.Spans()
+	if len(d) != len(r) {
+		t.Fatalf("retained %d vs %d", len(d), len(r))
+	}
+	for i := range d {
+		if d[i].SpanID != r[i].SpanID || d[i].StartMs != r[i].StartMs {
+			t.Fatalf("span %d differs: %+v vs %+v", i, d[i], r[i])
+		}
+	}
+}
