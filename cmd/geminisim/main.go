@@ -28,6 +28,12 @@ func main() {
 		durScale   = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
 		workers    = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids and -cluster sharding (1 = serial; results are identical)")
 		cluster    = flag.Int("cluster", 0, "run the §V multi-core cluster sweep over this many cores and exit (sharded across -workers threads)")
+		shards     = flag.Int("shards", 0, "run one shards × replicas topology cell and exit: prints a summary and the gemini_cluster_* telemetry exposition")
+		replicas   = flag.Int("replicas", 1, "replicas per shard for -shards / -capacity")
+		router     = flag.String("router", "power-aware", "replica router for -shards / -capacity: round-robin, least-loaded, deadline-aware, power-aware")
+		powerCap   = flag.Float64("power-cap", 0, "cluster power cap in modeled watts for -shards / -capacity (0 = uncapped)")
+		capIvMs    = flag.Float64("cap-interval", 0, "power-cap control interval in ms (0 = default)")
+		capacity   = flag.Bool("capacity", false, "run the capacity-planning sweep (replicas × RPS × cap) over -shards shards and exit")
 		logPath    = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
 		logPol     = flag.String("log-policy", "Gemini", "policy for -log-decisions")
 		logTrace   = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
@@ -115,6 +121,47 @@ func main() {
 	if *cluster > 0 {
 		rep := p.ClusterReport(*cluster, *workers, 60, 120_000*scale)
 		fmt.Println(rep.String())
+		return
+	}
+
+	if *capacity {
+		nShards := *shards
+		if nShards < 1 {
+			nShards = 2
+		}
+		caps := []float64{0}
+		if *powerCap > 0 {
+			caps = append(caps, *powerCap)
+		}
+		rep := p.CapacityReport(harness.CapacitySpec{
+			Shards:     nShards,
+			Replicas:   []int{1, 2, 3},
+			EngineRPS:  []float64{40, 60},
+			CapsW:      caps,
+			Router:     *router,
+			DurationMs: 60_000 * scale,
+			Seed:       1,
+		}, *workers)
+		fmt.Println(rep.String())
+		return
+	}
+
+	if *shards > 0 {
+		rep, expo, err := p.TopologyReport(harness.TopologyRunSpec{
+			Shards:        *shards,
+			Replicas:      *replicas,
+			Router:        *router,
+			CapW:          *powerCap,
+			CapIntervalMs: *capIvMs,
+			DurationMs:    60_000 * scale,
+			Seed:          1,
+		}, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(rep.String())
+		fmt.Print(expo)
 		return
 	}
 

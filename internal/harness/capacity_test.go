@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCapacityReportWorkersIdentical extends the -workers contract to the
+// topology sweep: the capacity report renders byte-identically for any
+// worker count.
+func TestCapacityReportWorkersIdentical(t *testing.T) {
+	p := plat(t)
+	spec := CapacitySpec{
+		Shards:     2,
+		Replicas:   []int{1, 2},
+		EngineRPS:  []float64{40},
+		CapsW:      []float64{0, 14},
+		DurationMs: 2000,
+		Seed:       5,
+	}
+	serial := p.CapacityReport(spec, 1).String()
+	sharded := p.CapacityReport(spec, 4).String()
+	if serial != sharded {
+		t.Fatalf("capacity report differs between serial and sharded runs:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
+	}
+	if !strings.Contains(serial, "p99 ms") || !strings.Contains(serial, "throttles") {
+		t.Fatalf("capacity report missing columns:\n%s", serial)
+	}
+	// 2 replicas × 1 rps × 2 caps = 4 rows.
+	lines := strings.Count(serial, "\n")
+	if lines < 7 {
+		t.Fatalf("capacity report too short:\n%s", serial)
+	}
+}
+
+func TestCapacityReportDefaults(t *testing.T) {
+	p := plat(t)
+	rep := p.CapacityReport(CapacitySpec{Shards: 1, Replicas: []int{1}, EngineRPS: []float64{30}, DurationMs: 1500}, 2)
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][2] != "-" {
+		t.Fatalf("uncapped cap cell = %q, want -", rep.Rows[0][2])
+	}
+}

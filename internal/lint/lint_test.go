@@ -26,6 +26,15 @@ func TestNoDeterminismFixture(t *testing.T) {
 		"fixture/internal/sim", lint.NoDeterminism)
 }
 
+func TestNoDeterminismRawSourceIsSimScoped(t *testing.T) {
+	l := loaderFor(t)
+	// Same deterministic-package gate, but not internal/sim: seeded
+	// rand.New(rand.NewSource(...)) stays the sanctioned idiom there, so the
+	// fixture has no want comments.
+	linttest.Run(t, l, linttest.Fixture(t, "nodeterminism_harness"),
+		"fixture/internal/harness", lint.NoDeterminism)
+}
+
 func TestNoDeterminismIgnoresOtherPackages(t *testing.T) {
 	l := loaderFor(t)
 	// The fixture has wall-clock and global-rand uses but no want comments:

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"gemini/internal/lint/analysis"
@@ -13,12 +14,17 @@ import (
 // internal/policy, internal/harness): wall-clock reads (time.Now/Since/
 // Until), the global math/rand source (seeded per-process, order-dependent
 // under parallel runs), and map iteration that feeds order-sensitive output.
-// Seeded rand.New(rand.NewSource(...)) generators remain fine — they are the
-// repository's determinism idiom.
+// Seeded rand.New(rand.NewSource(...)) generators remain the determinism
+// idiom in policy and harness code — but inside internal/sim itself raw
+// source construction is banned outside rng.go: every sim stream must come
+// from PartitionedRNG so subsystems (workload, routing, sched) stay
+// draw-isolated (a raw source reintroduces the shared-stream coupling the
+// partition exists to prevent).
 var NoDeterminism = &analysis.Analyzer{
 	Name: "nodeterminism",
-	Doc: "forbid time.Now, global math/rand, and map-range-ordered output " +
-		"in the deterministic simulation packages",
+	Doc: "forbid time.Now, global math/rand, map-range-ordered output, and " +
+		"raw rand sources outside internal/sim's rng.go in the deterministic " +
+		"simulation packages",
 	Run: runNoDeterminism,
 }
 
@@ -44,14 +50,32 @@ var bannedGlobalRand = map[string]bool{
 	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
 }
 
+// bannedRawSource are the raw generator constructors (v1 and v2) banned
+// inside internal/sim outside rng.go.
+var bannedRawSource = map[string]bool{
+	"NewSource": true,
+	// math/rand/v2 source constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
 func isDeterministicPkg(path string) bool {
 	path = pkgPathBase(path)
 	for _, frag := range deterministicPkgs {
-		if path == frag || strings.HasSuffix(path, "/"+frag) || strings.Contains(path, "/"+frag+"/") {
+		if matchesPkgFrag(path, frag) {
 			return true
 		}
 	}
 	return false
+}
+
+// isSimPkg gates the rawsource ban to internal/sim proper — policy and
+// harness keep the plain seeded-generator idiom.
+func isSimPkg(path string) bool {
+	return matchesPkgFrag(pkgPathBase(path), "internal/sim")
+}
+
+func matchesPkgFrag(path, frag string) bool {
+	return path == frag || strings.HasSuffix(path, "/"+frag) || strings.Contains(path, "/"+frag+"/")
 }
 
 func runNoDeterminism(pass *analysis.Pass) error {
@@ -100,6 +124,17 @@ func checkDeterminismUse(pass *analysis.Pass, id *ast.Ident, allow allowIndex) {
 			!allow.allows(pass, id.Pos(), "globalrand") {
 			pass.Reportf(id.Pos(),
 				"global %s.%s draws from the process-wide source: use rand.New(rand.NewSource(seed))",
+				fn.Pkg().Path(), fn.Name())
+		}
+		// Inside internal/sim, raw source construction is reserved to rng.go:
+		// everything else must take its stream from PartitionedRNG so the
+		// workload/routing/sched subsystems stay draw-isolated.
+		if fn.Type().(*types.Signature).Recv() == nil && bannedRawSource[fn.Name()] &&
+			isSimPkg(pass.Pkg.Path()) &&
+			filepath.Base(pass.Position(id.Pos()).Filename) != "rng.go" &&
+			!allow.allows(pass, id.Pos(), "rawsource") {
+			pass.Reportf(id.Pos(),
+				"raw %s.%s in internal/sim: take a stream from PartitionedRNG (rng.go) so subsystem draws stay isolated",
 				fn.Pkg().Path(), fn.Name())
 		}
 	}

@@ -1,0 +1,11 @@
+// rng.go is the one non-test file in internal/sim allowed to construct raw
+// rand sources — it is where PartitionedRNG derives its subsystem streams.
+// The rawsource ban exempts it by basename, so nothing here wants a
+// diagnostic.
+package fixture
+
+import "math/rand"
+
+func streamFor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,12 @@
+// Fixture checked under fixture/internal/harness: a deterministic package
+// that is NOT internal/sim. The wall-clock and global-rand bans still apply
+// there, but raw seeded sources remain the sanctioned idiom — so this file
+// carries no want comment for them.
+package fixture
+
+import "math/rand"
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

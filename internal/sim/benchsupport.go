@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"math/rand"
-
 	"gemini/internal/cpu"
 )
 
@@ -22,8 +20,10 @@ func BenchWorkload(n int, seed int64) *Workload {
 
 // BenchWorkloadRate is BenchWorkload with an explicit mean inter-arrival gap
 // (ms) so cluster benchmarks can scale offered load with the core count.
+// Draws come from the seed's workload stream — bit-compatible with the
+// historical shared generator (see PartitionedRNG).
 func BenchWorkloadRate(n int, seed int64, meanGapMs float64) *Workload {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewPartitionedRNG(seed).Workload()
 	wl := &Workload{BudgetMs: 40}
 	at := 0.0
 	for i := 0; i < n; i++ {

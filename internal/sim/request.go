@@ -7,8 +7,6 @@
 package sim
 
 import (
-	"math/rand"
-
 	"gemini/internal/corpus"
 	"gemini/internal/cpu"
 	"gemini/internal/search"
@@ -124,8 +122,13 @@ type Workload struct {
 // BuildWorkload samples one pool query per arrival (uniformly, seeded) and
 // applies a fresh jitter draw per request instance — the same query arriving
 // twice takes different measured times, as on real hardware.
+//
+// Draws come from the seed's workload stream (PartitionedRNG), which is
+// bit-compatible with the historical shared rand.New(rand.NewSource(seed)):
+// the same seed yields the same requests it always has, and draws on any
+// other subsystem (routing, sched) can never perturb them.
 func BuildWorkload(pool []PreparedQuery, arrivals []float64, jitter *search.Jitter, budgetMs, durationMs float64, seed int64) *Workload {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewPartitionedRNG(seed).Workload()
 	reqs := make([]*Request, len(arrivals))
 	for i, at := range arrivals {
 		pq := pool[rng.Intn(len(pool))]
