@@ -18,8 +18,18 @@
 // runner that is uniformly 2x slower than the machine that produced the
 // baseline still passes, while a change that slows the calendar engine
 // relative to the linear reference fails. The reference itself always
-// normalizes to exactly 1. Exit status 1 means a gated benchmark's
-// normalized throughput fell below 1-tol.
+// normalizes to exactly 1.
+//
+// Allocation counts need no calibration — allocs/op is machine-independent —
+// so every benchmark recorded with -benchmem is also gated absolutely:
+// current allocs/op may not exceed baseline·(1+allocs-tol) plus a couple of
+// allocations of slack (the runtime occasionally charges a stray allocation
+// to the benchmark loop). This is what keeps the telemetry sampler honest:
+// a change that starts allocating per sample moves allocs/op by thousands
+// and fails the gate even on a much faster machine.
+//
+// Exit status 1 means a gated benchmark's normalized throughput fell below
+// 1-tol or its allocs/op grew past the allocation tolerance.
 package main
 
 import (
@@ -57,18 +67,20 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_sim.json")
 	current := flag.String("current", "", "current BENCH_sim.json to compare against the baseline")
 	tol := flag.Float64("tol", 0.15, "allowed fractional throughput regression")
+	allocsTol := flag.Float64("allocs-tol", 0.10, "allowed fractional allocs/op growth (plus allocsSlack absolute); negative disables the allocation gate")
 	calibrate := flag.String("calibrate", "", "reference benchmark name for machine-speed normalization")
 	commit := flag.String("commit", "", "commit hash to stamp into rendered output")
+	note := flag.String("note", "", "free-form note to stamp into rendered output")
 	flag.Parse()
 
 	switch {
 	case *render != "":
-		if err := renderFile(*render, *commit); err != nil {
+		if err := renderFile(*render, *commit, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
 	case *baseline != "" && *current != "":
-		ok, err := diff(*baseline, *current, *tol, *calibrate)
+		ok, err := diff(*baseline, *current, *tol, *allocsTol, *calibrate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
@@ -83,14 +95,14 @@ func main() {
 }
 
 // renderFile parses benchmark text output and writes the JSON schema.
-func renderFile(path, commit string) error {
+func renderFile(path, commit, note string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	out := File{Commit: commit}
+	out := File{Commit: commit, Note: note}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -162,8 +174,13 @@ func trimProcSuffix(name string) string {
 	return name[:i]
 }
 
+// allocsSlack absorbs the occasional stray allocation the runtime charges to
+// a benchmark loop (timer churn, map growth in testing internals). It sits on
+// top of the fractional allocs-tol so near-zero baselines don't flake.
+const allocsSlack = 2
+
 // diff compares current against baseline and reports pass/fail.
-func diff(basePath, curPath string, tol float64, calibrate string) (bool, error) {
+func diff(basePath, curPath string, tol, allocsTol float64, calibrate string) (bool, error) {
 	base, err := readFile(basePath)
 	if err != nil {
 		return false, err
@@ -198,24 +215,40 @@ func diff(basePath, curPath string, tol float64, calibrate string) (bool, error)
 	for _, name := range names {
 		b := baseBy[name]
 		c, ok := curBy[name]
-		if !ok || b.EventsPerSec <= 0 || c.EventsPerSec <= 0 {
+		if !ok {
 			continue
 		}
-		gated++
-		ratio := c.EventsPerSec / b.EventsPerSec / norm
-		status := "ok"
-		if ratio < 1-tol {
-			status = "REGRESSION"
-			pass = false
+		if b.EventsPerSec > 0 && c.EventsPerSec > 0 {
+			gated++
+			ratio := c.EventsPerSec / b.EventsPerSec / norm
+			status := "ok"
+			if ratio < 1-tol {
+				status = "REGRESSION"
+				pass = false
+			}
+			fmt.Printf("%-40s baseline %12.0f ev/s  current %12.0f ev/s  normalized %.3fx  %s\n",
+				name, b.EventsPerSec, c.EventsPerSec, ratio, status)
 		}
-		fmt.Printf("%-40s baseline %12.0f ev/s  current %12.0f ev/s  normalized %.3fx  %s\n",
-			name, b.EventsPerSec, c.EventsPerSec, ratio, status)
+		// Allocation gate: machine-independent, so no calibration. A zero
+		// on both sides means either a genuinely alloc-free benchmark or one
+		// recorded without -benchmem; both are safe to skip.
+		if allocsTol >= 0 && (b.AllocsPerOp > 0 || c.AllocsPerOp > 0) {
+			gated++
+			limit := b.AllocsPerOp*(1+allocsTol) + allocsSlack
+			status := "ok"
+			if c.AllocsPerOp > limit {
+				status = "ALLOC REGRESSION"
+				pass = false
+			}
+			fmt.Printf("%-40s baseline %12.0f allocs/op  current %9.0f allocs/op  limit %9.0f  %s\n",
+				name, b.AllocsPerOp, c.AllocsPerOp, limit, status)
+		}
 	}
 	if gated == 0 {
-		return false, fmt.Errorf("no benchmarks with events/sec in common between %s and %s", basePath, curPath)
+		return false, fmt.Errorf("no gateable benchmarks (events/sec or allocs/op) in common between %s and %s", basePath, curPath)
 	}
 	if !pass {
-		fmt.Printf("FAIL: throughput regressed more than %.0f%% against %s\n", tol*100, basePath)
+		fmt.Printf("FAIL: throughput fell more than %.0f%% or allocs/op grew more than %.0f%% against %s\n", tol*100, allocsTol*100, basePath)
 	}
 	return pass, nil
 }

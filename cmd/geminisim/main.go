@@ -22,24 +22,28 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (see -list)")
-		small      = flag.Bool("small", false, "use the fast small-scale platform")
-		list       = flag.Bool("list", false, "list experiment names and exit")
-		durScale   = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
-		workers    = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids and -cluster sharding (1 = serial; results are identical)")
-		cluster    = flag.Int("cluster", 0, "run the §V multi-core cluster sweep over this many cores and exit (sharded across -workers threads)")
-		shards     = flag.Int("shards", 0, "run one shards × replicas topology cell and exit: prints a summary and the gemini_cluster_* telemetry exposition")
-		replicas   = flag.Int("replicas", 1, "replicas per shard for -shards / -capacity")
-		router     = flag.String("router", "power-aware", "replica router for -shards / -capacity: round-robin, least-loaded, deadline-aware, power-aware")
-		powerCap   = flag.Float64("power-cap", 0, "cluster power cap in modeled watts for -shards / -capacity (0 = uncapped)")
-		capIvMs    = flag.Float64("cap-interval", 0, "power-cap control interval in ms (0 = default)")
-		capacity   = flag.Bool("capacity", false, "run the capacity-planning sweep (replicas × RPS × cap) over -shards shards and exit")
-		logPath    = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
-		logPol     = flag.String("log-policy", "Gemini", "policy for -log-decisions")
-		logTrace   = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
-		phaseRep   = flag.Bool("phase-report", false, "print the per-phase latency/energy waterfall table (every policy on -log-trace) and exit")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		exp          = flag.String("exp", "all", "experiment to run (see -list)")
+		small        = flag.Bool("small", false, "use the fast small-scale platform")
+		list         = flag.Bool("list", false, "list experiment names and exit")
+		durScale     = flag.Float64("durscale", 0, "scale simulated durations (default 1.0, or 0.2 with -small)")
+		workers      = flag.Int("workers", harness.DefaultWorkers(), "worker goroutines for the experiment grids and -cluster sharding (1 = serial; results are identical)")
+		cluster      = flag.Int("cluster", 0, "run the §V multi-core cluster sweep over this many cores and exit (sharded across -workers threads)")
+		shards       = flag.Int("shards", 0, "run one shards × replicas topology cell and exit: prints a summary and the gemini_cluster_* telemetry exposition")
+		replicas     = flag.Int("replicas", 1, "replicas per shard for -shards / -capacity")
+		router       = flag.String("router", "power-aware", "replica router for -shards / -capacity: round-robin, least-loaded, deadline-aware, power-aware")
+		powerCap     = flag.Float64("power-cap", 0, "cluster power cap in modeled watts for -shards / -capacity (0 = uncapped)")
+		capIvMs      = flag.Float64("cap-interval", 0, "power-cap control interval in ms (0 = default)")
+		capacity     = flag.Bool("capacity", false, "run the capacity-planning sweep (replicas × RPS × cap) over -shards shards and exit")
+		timeline     = flag.String("timeline", "", "run the cluster timeline cell and write the sampled series (JSONL) to this path; without -shards it runs the canonical 8×3 power-aware 40 W drift cell")
+		timelineCSV  = flag.String("timeline-csv", "", "also write the timeline as CSV to this path")
+		timelineHTML = flag.String("timeline-html", "", "also write the self-contained SVG timeline dashboard to this path")
+		sampleIvMs   = flag.Float64("sample-interval", 100, "timeline sample interval in simulated ms")
+		logPath      = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
+		logPol       = flag.String("log-policy", "Gemini", "policy for -log-decisions")
+		logTrace     = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
+		phaseRep     = flag.Bool("phase-report", false, "print the per-phase latency/energy waterfall table (every policy on -log-trace) and exit")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
 
@@ -143,6 +147,51 @@ func main() {
 			Seed:       1,
 		}, *workers)
 		fmt.Println(rep.String())
+		return
+	}
+
+	if *timeline != "" || *timelineCSV != "" || *timelineHTML != "" {
+		spec := harness.TimelineSpec{
+			DurationMs:       60_000 * scale,
+			SampleIntervalMs: *sampleIvMs,
+			Seed:             1,
+		}
+		if *shards > 0 {
+			spec.Shards = *shards
+			spec.Replicas = *replicas
+			spec.Router = *router
+			spec.CapW = *powerCap
+			spec.CapIntervalMs = *capIvMs
+		}
+		tlr, err := p.TimelineReport(spec, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		write := func(path string, render func(f *os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = render(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "timeline: %d samples -> %s\n", tlr.Series.Len(), path)
+		}
+		write(*timeline, func(f *os.File) error { return tlr.Series.WriteJSONL(f) })
+		write(*timelineCSV, func(f *os.File) error { return tlr.Series.WriteCSV(f) })
+		write(*timelineHTML, func(f *os.File) error {
+			title := fmt.Sprintf("Gemini cluster timeline — %d×%d %s", tlr.Spec.Shards, tlr.Spec.Replicas, tlr.Spec.Router)
+			return harness.WriteTimelineHTML(f, title, tlr.Series)
+		})
+		fmt.Println(tlr.Report.String())
 		return
 	}
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"gemini/internal/corpus"
+	"gemini/internal/cpu"
 	"gemini/internal/index"
 	"gemini/internal/predictor"
 	"gemini/internal/search"
@@ -49,6 +50,8 @@ func main() {
 		ringCap = flag.Int("decision-ring", 512, "decisions retained per /debug/decisions endpoint")
 		sample  = flag.Float64("trace-sample", 0, "head-based trace sampling rate in [0,1]: fraction of queries stitched into /debug/traces waterfalls (0 = off)")
 		spanCap = flag.Int("span-ring", 4096, "spans retained per /debug/traces endpoint")
+		tlIv    = flag.Duration("timeline-interval", time.Second, "wall-clock sample interval for the /debug/timeline series (0 disables the samplers)")
+		tlCap   = flag.Int("timeline-ring", 600, "samples retained per /debug/timeline endpoint")
 	)
 	flag.Parse()
 
@@ -92,6 +95,10 @@ func main() {
 		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 		mux.Handle("/debug/decisions", telemetry.DecisionsHandler(tracer, 100))
 		mux.Handle("/debug/traces", telemetry.TracesHandler(spans, 20))
+		if *tlIv > 0 {
+			sampler := server.StartTimeline(isn.TimelineCounters, ladderGHz(), *tlIv, *tlCap)
+			mux.Handle("/debug/timeline", sampler.Handler(60))
+		}
 		registerPprof(mux)
 		addr := fmt.Sprintf("127.0.0.1:%d", *port+1+s)
 		go func(a string, m *http.ServeMux) {
@@ -120,6 +127,10 @@ func main() {
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(aggTracer, 100))
 	mux.Handle("/debug/traces", telemetry.TracesHandler(aggSpans, 20))
+	if *tlIv > 0 {
+		sampler := server.StartTimeline(agg.TimelineCounters, nil, *tlIv, *tlCap)
+		mux.Handle("/debug/timeline", sampler.Handler(60))
+	}
 	registerPprof(mux)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -131,6 +142,17 @@ func main() {
 	}
 	log.Printf("aggregator: listen=%s shards=%d policy=%s predictor=%s trace-sample=%.2f budget=%.1fms", addr, *shards, policy, predictorMode(*predict), *sample, *budget)
 	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
+// ladderGHz labels the /debug/timeline residency columns with the modeled
+// DVFS ladder's levels.
+func ladderGHz() []float64 {
+	levels := cpu.DefaultLadder().Levels()
+	ghz := make([]float64, len(levels))
+	for i, f := range levels {
+		ghz[i] = float64(f)
+	}
+	return ghz
 }
 
 // predictorMode renders the -predict flag for the startup summary lines.

@@ -146,6 +146,18 @@ func (l *Ladder) StepUp(f Freq) Freq {
 	return l.levels[i]
 }
 
+// Index returns f's position on the ladder: the index of the highest level
+// <= f, clamped to 0 when f is below the bottom. For exact ladder levels —
+// the only values the simulator ever runs at — this is the level's ordinal,
+// which is what per-level bookkeeping (frequency-residency sampling) keys on.
+func (l *Ladder) Index(f Freq) int {
+	i := sort.Search(len(l.levels), func(i int) bool { return l.levels[i] > f })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
 // Contains reports whether f is exactly a ladder level.
 func (l *Ladder) Contains(f Freq) bool {
 	i := sort.Search(len(l.levels), func(i int) bool { return l.levels[i] >= f })

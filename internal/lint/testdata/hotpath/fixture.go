@@ -145,3 +145,47 @@ func rebucketAllowed(n int) [][]float64 {
 	//gemini:allow hotpath -- amortized rebucketing, runs O(1) times per O(n) inserts
 	return make([][]float64, n)
 }
+
+// Timeseries-sampler idioms: the engine loop touches its *telemetry
+// SampleCursor only behind nil checks, so cursor calls (un-annotated,
+// internally appending) must pass inside the guard and fail outside it.
+
+type sampler struct {
+	tsc    *telemetry.SampleCursor
+	window []float64
+}
+
+//gemini:hotpath
+func (s *sampler) onArrival() {
+	if s.tsc != nil {
+		s.tsc.OnArrival() // fine: nil-check guard exempts the enabled path
+	}
+}
+
+//gemini:hotpath
+func (s *sampler) onCompletion(latMs float64) {
+	s.tsc.OnCompletion(latMs) // want `calls un-annotated .*OnCompletion`
+}
+
+//gemini:hotpath
+func (s *sampler) accrueGuarded(dtMs float64, level int) {
+	if s.tsc == nil {
+		return
+	}
+	// Early-out guard shape: everything below only runs with sampling on.
+	s.tsc.SetLevel(level)
+	s.tsc.Accrue(dtMs)
+}
+
+//gemini:hotpath
+func (s *sampler) recordWindow(latMs float64) {
+	// The window-percentile buffer reuses its backing array across samples
+	// (reset via s.window = s.window[:0] at each boundary): amortized append,
+	// same contract as the event queue.
+	s.window = append(s.window, latMs)
+}
+
+//gemini:hotpath
+func (s *sampler) resetWindow() {
+	s.window = s.window[:0]
+}

@@ -78,6 +78,15 @@ type Aggregator struct {
 	seq       int
 	sampleAcc float64   // sampling accumulator, guarded by mu
 	startedAt time.Time // trace time origin, set on the first aggregation
+
+	// Timeline window accumulators, guarded by mu; dormant until the first
+	// TimelineCounters call (see timeline.go).
+	tlOn          bool
+	tlArrivals    uint64
+	tlCompletions uint64
+	tlDrops       uint64
+	tlInFlight    int
+	tlLats        []float64
 }
 
 // shardReply is one shard's settled fan-out leg: the decoded response (or
@@ -124,6 +133,8 @@ func (a *Aggregator) Search(ctx context.Context, query string) (*AggResponse, er
 	}
 	start := time.Now()
 	seq, t0, traceID := a.begin(start)
+	tlOK := false
+	defer func() { a.tlFinish(start, tlOK) }()
 	body, err := json.Marshal(SearchRequest{Query: query, K: a.K})
 	if err != nil {
 		return nil, err
@@ -261,7 +272,27 @@ collect:
 		a.stitch(traceID, agg, got, stragglers)
 	}
 	a.observe(agg, seq, t0, start)
+	tlOK = true
 	return agg, nil
+}
+
+// tlFinish settles one aggregation's timeline accounting: successful queries
+// complete with their wall latency, failed ones count as drops.
+func (a *Aggregator) tlFinish(start time.Time, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tlInFlight > 0 {
+		a.tlInFlight--
+	}
+	if !a.tlOn {
+		return
+	}
+	if ok {
+		a.tlCompletions++
+		a.tlLats = append(a.tlLats, msSince(start))
+	} else {
+		a.tlDrops++
+	}
 }
 
 // begin allocates the aggregation's sequence number and trace-time origin
@@ -271,6 +302,10 @@ func (a *Aggregator) begin(start time.Time) (seq int, t0 time.Time, traceID stri
 	defer a.mu.Unlock()
 	a.seq++
 	seq = a.seq
+	if a.tlOn {
+		a.tlArrivals++
+		a.tlInFlight++
+	}
 	if a.startedAt.IsZero() {
 		a.startedAt = start
 	}

@@ -109,10 +109,20 @@ type ISN struct {
 	// package comment). Guarded by mu.
 	planner     core.Params
 	power       *cpu.PowerModel
+	ladder      *cpu.Ladder
 	modelFreq   cpu.Freq
 	energyMJ    float64
 	transitions uint64
 	seq         int
+
+	// Timeline window accumulators, guarded by mu. Dormant (tlOn false, zero
+	// cost beyond a bool test) until the first TimelineCounters call — i.e.
+	// until a TimelineSampler is attached.
+	tlOn          bool
+	tlArrivals    uint64
+	tlCompletions uint64
+	tlDrops       uint64
+	tlLats        []float64
 
 	met *isnInstruments
 	t0  time.Time
@@ -137,6 +147,7 @@ func NewISN(shard int, c *corpus.Corpus, eng *search.Engine, cost *search.CostMo
 		stopped:   make(chan struct{}),
 		planner:   core.DefaultParams(),
 		power:     cpu.DefaultPowerModel(),
+		ladder:    cpu.DefaultLadder(),
 		modelFreq: cpu.FDefault,
 		t0:        time.Now(),
 	}
@@ -409,6 +420,9 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	n.depth++
 	depth := n.depth
+	if n.tlOn {
+		n.tlArrivals++
+	}
 	n.mu.Unlock()
 	if n.met != nil {
 		n.met.queueDepth.Set(float64(depth))
@@ -418,12 +432,24 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	select {
 	case n.queue <- isnTask{query: q, k: req.K, enqueued: start, resp: respCh}:
 	case <-time.After(5 * time.Second):
+		n.mu.Lock()
+		n.depth-- // never enqueued: undo the admission count
+		if n.tlOn {
+			n.tlDrops++
+		}
+		n.mu.Unlock()
 		http.Error(w, "queue full", http.StatusServiceUnavailable)
 		return
 	}
 	resp := <-respCh
 	resp.QueueDepth = depth
 	n.observe(&resp, start, depth, traceID)
+	n.mu.Lock()
+	if n.tlOn {
+		n.tlCompletions++
+		n.tlLats = append(n.tlLats, msSince(start))
+	}
+	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

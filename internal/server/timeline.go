@@ -1,0 +1,166 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gemini/internal/stats"
+	"gemini/internal/telemetry"
+)
+
+// Live timelines: the wall-clock counterpart of the simulator's fixed-interval
+// sampler. A TimelineSampler ticks on real time (this is the server package —
+// the one place wall clocks are allowed), drains a listener's windowed
+// counters, and appends telemetry.TimeseriesRow values with the exact schema
+// the simulated exports use, so `/debug/timeline` on a live listener and
+// `geminisim -timeline` are read by the same tooling (jq recipes, the HTML
+// dashboard, the examples/timeline scripts).
+
+// TimelineCounters is one listener's instantaneous timeline view: cumulative
+// lifecycle counters, instantaneous depth gauges, the modeled energy
+// accumulator, the current modeled ladder level (-1 when the listener has no
+// DVFS model), and the latency window drained since the previous call.
+type TimelineCounters struct {
+	Arrivals, Completions, Drops uint64  // cumulative
+	QueueDepth, InFlight         float64 // instantaneous
+	EnergyMJ                     float64 // cumulative modeled energy
+	FreqLevel                    int     // current modeled ladder index, -1 = none
+	LatenciesMs                  []float64
+}
+
+// TimelineSampler samples a TimelineCounters source on a wall-clock ticker
+// into a ring-buffered telemetry.Timeseries.
+type TimelineSampler struct {
+	ts   *telemetry.Timeseries
+	stop chan struct{}
+	once sync.Once
+}
+
+// StartTimeline launches a sampler over src: every interval it drains the
+// source and appends one row; the ring retains the most recent `capacity`
+// rows. freqsGHz labels the residency columns (the source's FreqLevel indexes
+// into it); pass nil for listeners without a DVFS model. Returns nil on
+// invalid interval or capacity.
+func StartTimeline(src func() TimelineCounters, freqsGHz []float64, interval time.Duration, capacity int) *TimelineSampler {
+	intervalMs := float64(interval) / float64(time.Millisecond)
+	ts := telemetry.NewTimeseries(intervalMs, freqsGHz, capacity)
+	if ts == nil {
+		return nil
+	}
+	s := &TimelineSampler{ts: ts, stop: make(chan struct{})}
+	go s.run(src, interval, len(freqsGHz))
+	return s
+}
+
+func (s *TimelineSampler) run(src func() TimelineCounters, interval time.Duration, levels int) {
+	t0 := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var prev TimelineCounters
+	lastMs := 0.0
+	for {
+		select {
+		case now := <-tick.C:
+			cur := src()
+			nowMs := msBetween(t0, now)
+			row := telemetry.TimeseriesRow{
+				TimeMs:      nowMs,
+				QueueDepth:  cur.QueueDepth,
+				InFlight:    cur.InFlight,
+				Arrivals:    cur.Arrivals - prev.Arrivals,
+				Completions: cur.Completions - prev.Completions,
+				Drops:       cur.Drops - prev.Drops,
+			}
+			if dt := nowMs - lastMs; dt > 0 {
+				row.PowerW = (cur.EnergyMJ - prev.EnergyMJ) / dt
+			}
+			if levels > 0 {
+				resid := make([]float64, levels)
+				if cur.FreqLevel >= 0 && cur.FreqLevel < levels {
+					// The live path attributes the whole window to the level
+					// observed at the boundary — a sampled approximation of
+					// the simulator's exact per-level accrual.
+					resid[cur.FreqLevel] = 1
+				}
+				row.Residency = resid
+			}
+			if len(cur.LatenciesMs) > 0 {
+				sort.Float64s(cur.LatenciesMs)
+				row.P50Ms = stats.PercentileSorted(cur.LatenciesMs, 50)
+				row.P95Ms = stats.PercentileSorted(cur.LatenciesMs, 95)
+				row.P99Ms = stats.PercentileSorted(cur.LatenciesMs, 99)
+			}
+			s.ts.Append(row)
+			prev, lastMs = cur, nowMs
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Series exposes the sampled ring (nil-safe).
+func (s *TimelineSampler) Series() *telemetry.Timeseries {
+	if s == nil {
+		return nil
+	}
+	return s.ts
+}
+
+// Handler serves the sampled series as /debug/timeline JSON — the schema
+// shared with the simulated exports.
+func (s *TimelineSampler) Handler(defaultN int) http.Handler {
+	return telemetry.TimelineHandler(s.Series(), defaultN)
+}
+
+// Stop terminates the sampling goroutine. Idempotent.
+func (s *TimelineSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+}
+
+// TimelineCounters snapshots the ISN's live counters and drains its latency
+// window. It is the ISN's TimelineSampler source; sampling starts the
+// accumulation (the counters cost nothing until the first call).
+func (n *ISN) TimelineCounters() TimelineCounters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tlOn = true
+	tc := TimelineCounters{
+		Arrivals:    n.tlArrivals,
+		Completions: n.tlCompletions,
+		Drops:       n.tlDrops,
+		QueueDepth:  float64(n.depth),
+		EnergyMJ:    n.energyMJ,
+		FreqLevel:   n.ladder.Index(n.modelFreq),
+		LatenciesMs: n.tlLats,
+	}
+	if n.depth > 0 {
+		tc.InFlight = 1 // the single working thread (Fig. 9)
+	}
+	n.tlLats = nil
+	return tc
+}
+
+// TimelineCounters snapshots the aggregator's live counters and drains its
+// latency window. The aggregator has no DVFS model, so energy stays zero and
+// FreqLevel is -1.
+func (a *Aggregator) TimelineCounters() TimelineCounters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tlOn = true
+	tc := TimelineCounters{
+		Arrivals:    a.tlArrivals,
+		Completions: a.tlCompletions,
+		Drops:       a.tlDrops,
+		QueueDepth:  float64(a.tlInFlight),
+		InFlight:    float64(a.tlInFlight),
+		FreqLevel:   -1,
+		LatenciesMs: a.tlLats,
+	}
+	a.tlLats = nil
+	return tc
+}

@@ -79,6 +79,32 @@ func BenchmarkRunSpansEnabled(b *testing.B) {
 	})
 }
 
+// BenchmarkRunTimeseriesDisabled / ...Enabled are the paired guard for the
+// timeline sampler hooks: with Config.Series nil the engine pays one nil test
+// per lifecycle event and per accrued segment (the Disabled numbers must
+// match BenchmarkRunFixedPolicy; see also
+// TestTimeseriesDisabledAddsNoAllocsPerRequest). The Enabled run samples at
+// the 100 ms default interval, sized per-workload so the ring never evicts —
+// the acceptance bound is ≤5% events/sec regression vs Disabled.
+func BenchmarkRunTimeseriesDisabled(b *testing.B) {
+	benchRun(b, DefaultConfig)
+}
+
+func BenchmarkRunTimeseriesEnabled(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wl := BenchWorkload(2000, int64(i))
+		cfg := DefaultConfig()
+		cfg.Series = NewRunTimeseries(cfg.Ladder, wl.DurationMs, 100)
+		b.StartTimer()
+		res := Run(cfg, wl, &FixedPolicy{F: cpu.FDefault})
+		events += res.Events
+	}
+	reportEventsPerSec(b, events)
+}
+
 // BenchmarkRunEngineLinear / ...Calendar are the single-ISN engine pair: the
 // same workload under the reference linear-scan loop and the calendar-queue
 // loop. The FixedPolicy floor keeps the pending-event population tiny, so

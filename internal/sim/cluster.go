@@ -57,40 +57,59 @@ func RunClusterWorkers(cfg Config, wl *Workload, cores, workers int, mkPolicy fu
 	parts := Dispatch(wl, cores)
 	results := make([]*Result, cores)
 
-	if workers > 1 && (cfg.Tracer != nil || cfg.Spans != nil) {
-		// Telemetry sinks are shared mutable state: concurrent cores would
-		// interleave emissions nondeterministically. Capture per core, replay
-		// in core order below.
-		tracers := make([]*telemetry.Tracer, cores)
-		spans := make([]*telemetry.SpanTracer, cores)
-		par.Run(workers, cores, func(c int) {
-			ccfg := cfg
-			if cfg.Tracer != nil {
-				// One decision per request (completion or drop), so the
-				// private ring never evicts.
-				tracers[c] = telemetry.NewTracer(len(parts[c].Requests))
-				ccfg.Tracer = tracers[c]
-			}
-			if cfg.Spans != nil {
-				spans[c] = telemetry.NewSpanAccumulator()
-				ccfg.Spans = spans[c]
-			}
-			results[c] = Run(ccfg, parts[c], mkPolicy(c))
-		})
-		for c := 0; c < cores; c++ {
-			if tracers[c] != nil {
-				for _, d := range tracers[c].Ring().Snapshot(0) {
-					cfg.Tracer.Emit(d) // re-stamps Seq in serial order
-				}
-			}
-			if spans[c] != nil {
-				cfg.Spans.EmitBatch(spans[c].Spans())
+	// Telemetry sinks are shared mutable state: concurrent cores would
+	// interleave emissions nondeterministically. Capture per core, replay
+	// (tracer/spans) or merge (series) in core order below. Tracer/span
+	// capture is needed only under concurrency; a Series is always captured
+	// per core, because its merge is window arithmetic, not concatenation.
+	captureTr := workers > 1 && cfg.Tracer != nil
+	captureSp := workers > 1 && cfg.Spans != nil
+	var tracers []*telemetry.Tracer
+	var spans []*telemetry.SpanTracer
+	var series []*telemetry.Timeseries
+	if captureTr {
+		tracers = make([]*telemetry.Tracer, cores)
+	}
+	if captureSp {
+		spans = make([]*telemetry.SpanTracer, cores)
+	}
+	if cfg.Series != nil {
+		series = make([]*telemetry.Timeseries, cores)
+	}
+	par.Run(workers, cores, func(c int) {
+		ccfg := cfg
+		if captureTr {
+			// One decision per request (completion or drop), so the
+			// private ring never evicts.
+			tracers[c] = telemetry.NewTracer(len(parts[c].Requests))
+			ccfg.Tracer = tracers[c]
+		}
+		if captureSp {
+			spans[c] = telemetry.NewSpanAccumulator()
+			ccfg.Spans = spans[c]
+		}
+		if series != nil {
+			series[c] = coreSeries(cfg.Series, parts[c].DurationMs)
+			ccfg.Series = series[c]
+		}
+		results[c] = Run(ccfg, parts[c], mkPolicy(c))
+	})
+	for c := 0; c < cores && (captureTr || captureSp); c++ {
+		if captureTr {
+			for _, d := range tracers[c].Ring().Snapshot(0) {
+				cfg.Tracer.Emit(d) // re-stamps Seq in serial order
 			}
 		}
-	} else {
-		par.Run(workers, cores, func(c int) {
-			results[c] = Run(cfg, parts[c], mkPolicy(c))
-		})
+		if captureSp {
+			cfg.Spans.EmitBatch(spans[c].Spans())
+		}
+	}
+	if series != nil {
+		pw := cfg.Power
+		if pw == nil {
+			pw = cpu.DefaultPowerModel()
+		}
+		mergeTimeseries(cfg.Series, series, parts, pw.UncoreW, nil)
 	}
 
 	cr := &ClusterResult{DurationMs: wl.DurationMs, PerCore: results}

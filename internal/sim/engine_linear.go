@@ -45,8 +45,14 @@ func (s *Sim) loopLinear() {
 			last := len(s.timers) - 1
 			s.timers[idx] = s.timers[last]
 			s.timers = s.timers[:last]
-			s.syncHead()
-			s.pol.OnTimer(s, tm.tag)
+			if tm.tag == SampleTimerTag {
+				// Reserved sampler timer: engine-internal, never surfaced
+				// to any policy — identical to the calendar loop.
+				s.sampleTick()
+			} else {
+				s.syncHead()
+				s.pol.OnTimer(s, tm.tag)
+			}
 		}
 	}
 }

@@ -35,6 +35,11 @@ const DefaultCapIntervalMs = 100.0
 // timer tags non-negative (every in-repo policy uses tag 0).
 const CapTimerTag int64 = -1
 
+// SampleTimerTag is the reserved (negative) timer tag the timeline sampler
+// (Config.Series) rides. Both engine loops intercept it before OnTimer, so
+// no policy — cappedPolicy included — ever observes it.
+const SampleTimerTag int64 = -2
+
 // CeilingStep is one scheduled ceiling change for a replica core.
 type CeilingStep struct {
 	AtMs    float64
@@ -52,7 +57,9 @@ type PowerCapCoordinator struct {
 
 	next      float64 // next unprocessed boundary
 	throttles int
+	seriesT   []float64 // boundary timestamps, in processing order
 	seriesW   []float64 // modeled watts per boundary, post-adjustment
+	seriesThr []int     // ceiling step-downs applied at each boundary
 	schedules [][]CeilingStep
 }
 
@@ -94,6 +101,7 @@ func (pc *PowerCapCoordinator) adjust(t float64) {
 	st := pc.st
 	n := len(st.ceilings)
 	top, floor := pc.ladder.Max(), pc.ladder.Min()
+	throttlesBefore := pc.throttles
 
 	// Uncapped plan: what each replica would run with no ceiling.
 	base := make([]cpu.Freq, n)
@@ -136,7 +144,9 @@ func (pc *PowerCapCoordinator) adjust(t float64) {
 			st.ceilings[c] = ceil[c]
 		}
 	}
+	pc.seriesT = append(pc.seriesT, t)
 	pc.seriesW = append(pc.seriesW, watts)
+	pc.seriesThr = append(pc.seriesThr, pc.throttles-throttlesBefore)
 }
 
 // FloorW returns the modeled cluster power with every replica loaded at the

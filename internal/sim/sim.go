@@ -84,6 +84,15 @@ type Config struct {
 	// follows the same contract as Tracer: one pointer test per lifecycle
 	// event, zero allocations.
 	Spans *telemetry.SpanTracer
+	// Series, when non-nil, attaches the fixed-interval timeline sampler: a
+	// reserved engine timer (SampleTimerTag) fires at every Series interval
+	// boundary and records modeled power, frequency residency, queue depth,
+	// in-flight count, arrival/completion/drop counts, and windowed latency
+	// percentiles into the Timeseries. The Series' residency levels must
+	// match the run's ladder. A nil Series follows the Tracer contract: one
+	// pointer test per lifecycle event, zero allocations
+	// (TestTimeseriesDisabledAddsNoAllocsPerRequest).
+	Series *telemetry.Timeseries
 }
 
 // DefaultConfig returns the standard testbed configuration.
@@ -187,6 +196,11 @@ type Sim struct {
 	marks    []phaseMark
 	tracking bool
 
+	// Timeline-sampler cursor (nil unless cfg.Series is set). Every touch in
+	// the engine sits under an `if s.tsc != nil` guard — the telemetry-gated
+	// zero-alloc discipline the hotpath analyzer enforces.
+	tsc *telemetry.SampleCursor
+
 	res *Result
 }
 
@@ -232,6 +246,19 @@ func Run(cfg Config, wl *Workload, pol Policy) *Result {
 	if s.seriesRes > 0 {
 		n := int(math.Ceil(wl.DurationMs/s.seriesRes)) + 1
 		s.series = make([]float64, n)
+	}
+	if cfg.Series != nil {
+		if got, want := cfg.Series.LevelCount(), len(cfg.Ladder.Levels()); got != want {
+			panic("sim: Config.Series residency levels (" + strconv.Itoa(got) +
+				") do not match the run's ladder (" + strconv.Itoa(want) + ")")
+		}
+		s.tsc = cfg.Series.StartRun(wl.DurationMs)
+		if s.tsc != nil {
+			s.tsc.SetLevel(cfg.Ladder.Index(cfg.StartFreq))
+			// Armed before pol.Init so a boundary coinciding with a policy
+			// timer samples first in both engines (lower insertion seq).
+			s.SetTimer(s.tsc.NextAt(), SampleTimerTag)
+		}
 	}
 	pol.Init(s)
 	s.loop()
@@ -340,6 +367,9 @@ func (s *Sim) SetFreq(f cpu.Freq) {
 	}
 	s.freq = f
 	s.transitions++
+	if s.tsc != nil {
+		s.tsc.SetLevel(s.cfg.Ladder.Index(f))
+	}
 	until := s.now + s.cfg.TdvfsMs
 	if until > s.stallUntil {
 		s.stallUntil = until
@@ -458,6 +488,9 @@ func (s *Sim) Drop(r *Request) {
 			s.queue = s.queue[:len(s.queue)-1]
 		}
 		s.res.recordDrop(r)
+		if s.tsc != nil {
+			s.tsc.OnDrop()
+		}
 		if s.tr != nil {
 			s.emitDecision(r)
 		}
@@ -630,9 +663,34 @@ func (s *Sim) loop() {
 			s.arrive(r)
 		case evTimer:
 			e := s.events.pop()
-			s.syncHead()
-			s.pol.OnTimer(s, e.tag)
+			if e.tag == SampleTimerTag {
+				// Reserved sampler timer: drained by the engine itself,
+				// never surfaced to any policy (cappedPolicy included).
+				s.sampleTick()
+			} else {
+				s.syncHead()
+				s.pol.OnTimer(s, e.tag)
+			}
 		}
+	}
+}
+
+// sampleTick seals the timeline window ending now and re-arms the reserved
+// sampler timer for the next boundary. Fired from both engine loops before
+// any policy sees the timer.
+//
+//gemini:hotpath
+func (s *Sim) sampleTick() {
+	if s.tsc == nil {
+		return
+	}
+	inFlight := 0.0
+	if s.headStarted {
+		inFlight = 1
+	}
+	s.tsc.Sample(s.now, s.acc.EnergyMJ(), float64(s.qlen()), inFlight)
+	if next := s.tsc.NextAt(); next >= 0 {
+		s.SetTimer(next, SampleTimerTag)
 	}
 }
 
@@ -733,6 +791,9 @@ func (s *Sim) accrue(dt float64, busy bool) {
 		p = s.sleepPowerW
 	}
 	s.acc.AccumulatePower(dt, p, busy)
+	if s.tsc != nil {
+		s.tsc.Accrue(dt)
+	}
 	if s.series == nil || dt <= 0 {
 		return
 	}
@@ -753,6 +814,9 @@ func (s *Sim) arrive(r *Request) {
 	s.queue = append(s.queue, r)
 	if s.qlen() == 1 {
 		s.refreshHead()
+	}
+	if s.tsc != nil {
+		s.tsc.OnArrival()
 	}
 	if s.tr != nil {
 		s.pending[r] = &telemetry.Decision{
@@ -828,6 +892,9 @@ func (s *Sim) completeHead() {
 	head.WorkDone = head.WorkTotal
 	s.popHead()
 	s.res.recordCompletion(head)
+	if s.tsc != nil {
+		s.tsc.OnCompletion(head.FinishMs - head.ArrivalMs)
+	}
 	if s.sp != nil {
 		s.emitSpans(head)
 		s.tracking = false

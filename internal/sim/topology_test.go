@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"strings"
@@ -258,7 +259,7 @@ func TestTopologyPublishesClusterMetrics(t *testing.T) {
 
 // FuzzRouterEquivalence is the CI smoke fuzz: arbitrary (seed, router, cap)
 // triples must keep the sharded topology run byte-identical to the serial
-// one.
+// one — both the TopologyResult and the merged timeline export.
 func FuzzRouterEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(0), uint8(0))
 	f.Add(int64(7), uint8(1), uint8(1))
@@ -276,19 +277,32 @@ func FuzzRouterEquivalence(f *testing.F) {
 		case 2:
 			capW = 19 // loose (max ≈22.5 W): throttles only under bursts
 		}
-		wl := clusterWorkload(150, 2, 6, seed)
-		tc := TopologyConfig{
-			Sim:       DefaultConfig(),
-			Topology:  Topology{Shards: 3, ReplicasPerShard: 2},
-			Router:    router,
-			Seed:      seed,
-			PowerCapW: capW,
+		run := func(workers int) (*TopologyResult, []byte) {
+			wl := clusterWorkload(150, 2, 6, seed)
+			cfg := DefaultConfig()
+			cfg.Series = NewRunTimeseries(cfg.Ladder, wl.DurationMs, 50)
+			tc := TopologyConfig{
+				Sim:       cfg,
+				Topology:  Topology{Shards: 3, ReplicasPerShard: 2},
+				Router:    router,
+				Seed:      seed,
+				PowerCapW: capW,
+			}
+			tr := RunTopologyWorkers(tc, wl, workers, mkCountingPolicy)
+			var buf bytes.Buffer
+			if err := cfg.Series.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return tr, buf.Bytes()
 		}
-		serial := RunTopologyWorkers(tc, wl, 1, mkCountingPolicy)
-		wl2 := clusterWorkload(150, 2, 6, seed)
-		sharded := RunTopologyWorkers(tc, wl2, 4, mkCountingPolicy)
+		serial, serialTL := run(1)
+		sharded, shardedTL := run(4)
 		if !reflect.DeepEqual(serial, sharded) {
 			t.Fatalf("seed=%d router=%s cap=%v: sharded run diverges from serial",
+				seed, router.Name(), capW)
+		}
+		if !bytes.Equal(serialTL, shardedTL) {
+			t.Fatalf("seed=%d router=%s cap=%v: sharded timeline diverges from serial",
 				seed, router.Name(), capW)
 		}
 	})

@@ -310,17 +310,25 @@ func (r *Registry) Summary(name, help string, quantiles []float64, labels ...Lab
 	return r.register(name, help, kindSummary, labels, func() any { return newSummary(quantiles) }).(*Summary)
 }
 
-// WritePrometheus renders every family in the text exposition format, in
-// registration order (deterministic for a deterministic program).
+// WritePrometheus renders every family in the text exposition format.
+// Families appear in registration order; within a family the labeled
+// children render in sorted label-set order. Sorting matters for the
+// lazily-created families (ClusterMetrics route counters, the live servers'
+// per-shard instruments): their registration order is the first-touch order,
+// which concurrent serving makes racy — sorted children keep /metrics
+// byte-stable for the same metric state no matter which shard routed first.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	keys := make([]string, 0, 16)
 	for _, name := range r.order {
 		f := r.families[name]
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
 			return err
 		}
-		for _, key := range f.order {
+		keys = append(keys[:0], f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
 			if err := writeChild(w, f, f.children[key]); err != nil {
 				return err
 			}

@@ -1,0 +1,493 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"gemini/internal/stats"
+)
+
+// Time-series telemetry: fixed-interval samples of the quantities the
+// cumulative counters and per-request traces cannot show evolving — modeled
+// watts, frequency residency, queue depth, arrival/completion rates, cap
+// throttling, and windowed tail latency. The same row schema serves three
+// producers: the simulator's reserved-timer sampler (simulated time), the
+// cluster runners' deterministic core-order merge, and the live listeners'
+// wall-clock ticker behind /debug/timeline.
+//
+// The storage discipline mirrors the decision tracer: everything is
+// preallocated ring-buffered columns, Append copies values into existing
+// capacity, and a disabled sampler is a nil pointer costing the engine one
+// pointer test per lifecycle event and zero allocations
+// (TestTimeseriesDisabledAddsNoAllocsPerRequest, BenchmarkRunTimeseries*).
+
+// TimeseriesRow is one sample: the state of a core (or a cluster aggregate)
+// over the window ending at TimeMs.
+type TimeseriesRow struct {
+	// TimeMs is the window's end boundary (ms since run start).
+	TimeMs float64 `json:"time_ms"`
+	// PowerW is the modeled average power over the window (core power for a
+	// single-core run; uncore plus every core for a cluster merge).
+	PowerW float64 `json:"power_watts"`
+	// QueueDepth and InFlight are instantaneous at the boundary: requests
+	// queued (including the executing head) and requests executing.
+	QueueDepth float64 `json:"queue_depth"`
+	InFlight   float64 `json:"in_flight"`
+	// Arrivals, Completions, Drops count lifecycle events inside the window.
+	Arrivals    uint64 `json:"arrivals"`
+	Completions uint64 `json:"completions"`
+	Drops       uint64 `json:"drops"`
+	// CapThrottles counts power-cap ceiling step-downs applied at coordinator
+	// boundaries inside the window; CapModeledW is the coordinator's modeled
+	// cluster watts at its last boundary at or before TimeMs (zero when
+	// uncapped or before the first boundary).
+	CapThrottles uint64  `json:"cap_throttles"`
+	CapModeledW  float64 `json:"cap_modeled_watts"`
+	// P50Ms/P95Ms/P99Ms are percentiles of the latencies of requests that
+	// completed inside the window (zero when none did).
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Residency is the fraction of the window spent at each ladder level,
+	// index-aligned with the series' FreqsGHz (averaged across cores in a
+	// cluster merge).
+	Residency []float64 `json:"residency"`
+}
+
+// Timeseries is a bounded ring of TimeseriesRows stored as preallocated
+// columns. All methods are safe for concurrent use and nil-safe; Append is
+// allocation-free (the Residency slice is copied into flat preallocated
+// storage, never retained).
+type Timeseries struct {
+	mu         sync.Mutex
+	intervalMs float64
+	freqs      []float64
+	capacity   int
+	start, n   int    // ring window: rows [start, start+n) mod capacity
+	total      uint64 // rows ever appended (evictions included)
+
+	timeMs, powerW, queueDepth, inFlight []float64
+	arrivals, completions, drops, capThr []uint64
+	capModeledW, p50, p95, p99           []float64
+	resid                                []float64 // capacity × len(freqs), flattened
+}
+
+// NewTimeseries creates a sampler ring. intervalMs is the sample interval,
+// freqsGHz the frequency-ladder levels residency is tracked over (may be
+// empty for producers with no DVFS model), capacity the row count retained
+// (older rows are evicted). Invalid parameters return nil, which every method
+// accepts.
+func NewTimeseries(intervalMs float64, freqsGHz []float64, capacity int) *Timeseries {
+	if intervalMs <= 0 || capacity < 1 {
+		return nil
+	}
+	fs := make([]float64, len(freqsGHz))
+	copy(fs, freqsGHz)
+	return &Timeseries{
+		intervalMs:  intervalMs,
+		freqs:       fs,
+		capacity:    capacity,
+		timeMs:      make([]float64, capacity),
+		powerW:      make([]float64, capacity),
+		queueDepth:  make([]float64, capacity),
+		inFlight:    make([]float64, capacity),
+		arrivals:    make([]uint64, capacity),
+		completions: make([]uint64, capacity),
+		drops:       make([]uint64, capacity),
+		capThr:      make([]uint64, capacity),
+		capModeledW: make([]float64, capacity),
+		p50:         make([]float64, capacity),
+		p95:         make([]float64, capacity),
+		p99:         make([]float64, capacity),
+		resid:       make([]float64, capacity*len(fs)),
+	}
+}
+
+// IntervalMs returns the sample interval (0 for a nil series).
+func (t *Timeseries) IntervalMs() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.intervalMs
+}
+
+// FreqsGHz returns a copy of the residency frequency levels.
+func (t *Timeseries) FreqsGHz() []float64 {
+	if t == nil {
+		return nil
+	}
+	out := make([]float64, len(t.freqs))
+	copy(out, t.freqs)
+	return out
+}
+
+// LevelCount returns the number of residency levels.
+func (t *Timeseries) LevelCount() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.freqs)
+}
+
+// Len returns the number of retained rows.
+func (t *Timeseries) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Total returns the number of rows ever appended, evicted ones included.
+func (t *Timeseries) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Append records one row, evicting the oldest when the ring is full. The
+// row's Residency must have exactly LevelCount entries (shorter slices
+// zero-fill); the slice is copied, never retained. Allocation-free.
+func (t *Timeseries) Append(row TimeseriesRow) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	i := (t.start + t.n) % t.capacity
+	if t.n == t.capacity {
+		t.start = (t.start + 1) % t.capacity
+	} else {
+		t.n++
+	}
+	t.timeMs[i] = row.TimeMs
+	t.powerW[i] = row.PowerW
+	t.queueDepth[i] = row.QueueDepth
+	t.inFlight[i] = row.InFlight
+	t.arrivals[i] = row.Arrivals
+	t.completions[i] = row.Completions
+	t.drops[i] = row.Drops
+	t.capThr[i] = row.CapThrottles
+	t.capModeledW[i] = row.CapModeledW
+	t.p50[i] = row.P50Ms
+	t.p95[i] = row.P95Ms
+	t.p99[i] = row.P99Ms
+	lv := len(t.freqs)
+	dst := t.resid[i*lv : (i+1)*lv]
+	for j := range dst {
+		if j < len(row.Residency) {
+			dst[j] = row.Residency[j]
+		} else {
+			dst[j] = 0
+		}
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// row materializes ring slot (start+k)%capacity. Caller holds t.mu.
+func (t *Timeseries) row(k int) TimeseriesRow {
+	i := (t.start + k) % t.capacity
+	lv := len(t.freqs)
+	res := make([]float64, lv)
+	copy(res, t.resid[i*lv:(i+1)*lv])
+	return TimeseriesRow{
+		TimeMs:       t.timeMs[i],
+		PowerW:       t.powerW[i],
+		QueueDepth:   t.queueDepth[i],
+		InFlight:     t.inFlight[i],
+		Arrivals:     t.arrivals[i],
+		Completions:  t.completions[i],
+		Drops:        t.drops[i],
+		CapThrottles: t.capThr[i],
+		CapModeledW:  t.capModeledW[i],
+		P50Ms:        t.p50[i],
+		P95Ms:        t.p95[i],
+		P99Ms:        t.p99[i],
+		Residency:    res,
+	}
+}
+
+// Rows returns every retained row, oldest first.
+func (t *Timeseries) Rows() []TimeseriesRow {
+	return t.Snapshot(0)
+}
+
+// Snapshot returns the most recent n rows, oldest first (n <= 0 returns
+// every retained row).
+func (t *Timeseries) Snapshot(n int) []TimeseriesRow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]TimeseriesRow, n)
+	for k := 0; k < n; k++ {
+		out[k] = t.row(t.n - n + k)
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained rows, oldest first, as JSON lines — the
+// geminisim -timeline export. Byte-stable for identical row contents, which
+// is what the serial-vs-sharded identity smoke compares.
+func (t *Timeseries) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, row := range t.Rows() {
+		if err := enc.Encode(&row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the retained rows as CSV with a header; residency levels
+// become one resid_<GHz> column each.
+func (t *Timeseries) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	cols := []string{"time_ms", "power_watts", "queue_depth", "in_flight",
+		"arrivals", "completions", "drops", "cap_throttles", "cap_modeled_watts",
+		"p50_ms", "p95_ms", "p99_ms"}
+	for _, f := range t.FreqsGHz() {
+		cols = append(cols, "resid_"+strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	if _, err := fmt.Fprintln(w, join(cols)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows() {
+		vals := []string{
+			fcsv(row.TimeMs), fcsv(row.PowerW), fcsv(row.QueueDepth), fcsv(row.InFlight),
+			strconv.FormatUint(row.Arrivals, 10), strconv.FormatUint(row.Completions, 10),
+			strconv.FormatUint(row.Drops, 10), strconv.FormatUint(row.CapThrottles, 10),
+			fcsv(row.CapModeledW), fcsv(row.P50Ms), fcsv(row.P95Ms), fcsv(row.P99Ms),
+		}
+		for _, r := range row.Residency {
+			vals = append(vals, fcsv(r))
+		}
+		if _, err := fmt.Fprintln(w, join(vals)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fcsv(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// SampleCount returns the number of sample boundaries a run of durationMs
+// produces at intervalMs: boundaries sit at k·interval for k = 1, 2, …, with
+// the final boundary clamped to exactly durationMs (a partial last window).
+// Boundary math multiplies rather than accumulates so every producer —
+// engine timers, cluster merges, tests — lands on bit-identical timestamps.
+func SampleCount(durationMs, intervalMs float64) int {
+	if durationMs <= 0 || intervalMs <= 0 {
+		return 0
+	}
+	k := int(durationMs / intervalMs)
+	if float64(k)*intervalMs < durationMs {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// sampleBoundary returns the k-th (1-based) boundary, clamped to the horizon.
+func sampleBoundary(k int, intervalMs, durationMs float64) float64 {
+	b := float64(k) * intervalMs
+	if b > durationMs {
+		b = durationMs
+	}
+	return b
+}
+
+// SampleCursor is one run's sampling state: the window accumulators the
+// engine feeds between boundaries and drains into the Timeseries at each
+// reserved-timer fire. It lives in package telemetry — not sim — because the
+// hot-path analyzer exempts only statements guarded by a nil check on a
+// telemetry pointer, the same contract the decision tracer uses; every
+// engine-side touch sits under `if s.tsc != nil`.
+//
+// All methods are allocation-free except OnCompletion's amortized window
+// growth (sampling enabled implies the window buffer is part of the
+// contract). A SampleCursor is single-run, single-goroutine state: unlike
+// Timeseries it takes no locks.
+type SampleCursor struct {
+	ts         *Timeseries
+	intervalMs float64
+	durationMs float64
+
+	k      int     // boundaries sampled so far
+	nextAt float64 // next boundary, -1 once the horizon boundary was sampled
+
+	lastMs       float64
+	lastEnergyMJ float64
+
+	level                        int // current ladder level (residency key)
+	arrivals, completions, drops uint64
+	resid                        []float64 // ms at each level this window
+	window                       []float64 // latencies completed this window
+}
+
+// StartRun opens a sampling cursor for one run over [0, durationMs]. Returns
+// nil — a disabled cursor — for a nil series or a degenerate horizon.
+func (t *Timeseries) StartRun(durationMs float64) *SampleCursor {
+	if t == nil || durationMs <= 0 {
+		return nil
+	}
+	return &SampleCursor{
+		ts:         t,
+		intervalMs: t.intervalMs,
+		durationMs: durationMs,
+		k:          0,
+		nextAt:     sampleBoundary(1, t.intervalMs, durationMs),
+		resid:      make([]float64, len(t.freqs)),
+		window:     make([]float64, 0, 64),
+	}
+}
+
+// NextAt returns the next boundary to arm a timer for, or -1 when the run's
+// final boundary has been sampled.
+func (c *SampleCursor) NextAt() float64 { return c.nextAt }
+
+// SetLevel records a frequency-ladder level switch; subsequent Accrue time
+// lands on the new level. Out-of-range levels clamp into the table.
+func (c *SampleCursor) SetLevel(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if n := len(c.resid); level >= n {
+		level = n - 1
+	}
+	c.level = level
+}
+
+// Accrue charges dtMs of residency at the current level.
+func (c *SampleCursor) Accrue(dtMs float64) {
+	if dtMs > 0 && c.level >= 0 && c.level < len(c.resid) {
+		c.resid[c.level] += dtMs
+	}
+}
+
+// OnArrival counts one arrival in the current window.
+func (c *SampleCursor) OnArrival() { c.arrivals++ }
+
+// OnCompletion counts one completion and records its latency for the
+// window's percentiles.
+func (c *SampleCursor) OnCompletion(latencyMs float64) {
+	c.completions++
+	c.window = append(c.window, latencyMs)
+}
+
+// OnDrop counts one drop in the current window.
+func (c *SampleCursor) OnDrop() { c.drops++ }
+
+// Sample seals the window ending at nowMs (a boundary the engine's reserved
+// timer just fired at): modeled power from the energy-meter delta, residency
+// fractions, windowed percentiles (the buffer is sorted in place), and the
+// instantaneous queue/in-flight readings — then resets the accumulators and
+// advances to the next boundary.
+func (c *SampleCursor) Sample(nowMs, energyMJ, queueDepth, inFlight float64) {
+	row := TimeseriesRow{
+		TimeMs:      nowMs,
+		QueueDepth:  queueDepth,
+		InFlight:    inFlight,
+		Arrivals:    c.arrivals,
+		Completions: c.completions,
+		Drops:       c.drops,
+		Residency:   c.resid,
+	}
+	if dt := nowMs - c.lastMs; dt > 0 {
+		// mJ per ms is watts.
+		row.PowerW = (energyMJ - c.lastEnergyMJ) / dt
+		for i, r := range c.resid {
+			c.resid[i] = r / dt
+		}
+	}
+	if len(c.window) > 0 {
+		sort.Float64s(c.window)
+		row.P50Ms = stats.PercentileSorted(c.window, 50)
+		row.P95Ms = stats.PercentileSorted(c.window, 95)
+		row.P99Ms = stats.PercentileSorted(c.window, 99)
+	}
+	c.ts.Append(row)
+
+	c.lastMs, c.lastEnergyMJ = nowMs, energyMJ
+	c.arrivals, c.completions, c.drops = 0, 0, 0
+	for i := range c.resid {
+		c.resid[i] = 0
+	}
+	c.window = c.window[:0]
+	c.k++
+	if nowMs >= c.durationMs {
+		c.nextAt = -1
+		return
+	}
+	c.nextAt = sampleBoundary(c.k+1, c.intervalMs, c.durationMs)
+}
+
+// timelinePayload is the JSON body served by TimelineHandler.
+type timelinePayload struct {
+	IntervalMs float64         `json:"interval_ms"`
+	FreqsGHz   []float64       `json:"freqs_ghz"`
+	Total      uint64          `json:"total"`
+	Samples    []TimeseriesRow `json:"samples"`
+}
+
+// TimelineHandler serves the most recent timeline samples as JSON — mount it
+// at /debug/timeline. The ?n= query parameter bounds the sample count
+// (default defaultN; n=0 returns every retained row). The schema matches the
+// simulator's -timeline export row for row.
+func TimelineHandler(t *Timeseries, defaultN int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := defaultN
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		payload := timelinePayload{Samples: []TimeseriesRow{}}
+		if t != nil {
+			payload.IntervalMs = t.IntervalMs()
+			payload.FreqsGHz = t.FreqsGHz()
+			payload.Total = t.Total()
+			if rows := t.Snapshot(n); rows != nil {
+				payload.Samples = rows
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}
