@@ -38,6 +38,8 @@ func main() {
 		timelineCSV  = flag.String("timeline-csv", "", "also write the timeline as CSV to this path")
 		timelineHTML = flag.String("timeline-html", "", "also write the self-contained SVG timeline dashboard to this path")
 		sampleIvMs   = flag.Float64("sample-interval", 100, "timeline sample interval in simulated ms")
+		sloReport    = flag.Bool("slo", false, "with the timeline flags: also print the SLO error-budget burn table for the sampled run")
+		sloTarget    = flag.Float64("slo-target", 99, "SLO target percentile for -slo")
 		logPath      = flag.String("log-decisions", "", "write per-request decision records (JSONL) for one policy/trace cell to this path and exit")
 		logPol       = flag.String("log-policy", "Gemini", "policy for -log-decisions")
 		logTrace     = flag.String("log-trace", "wiki", "trace for -log-decisions (wiki, lucene, trec)")
@@ -150,7 +152,7 @@ func main() {
 		return
 	}
 
-	if *timeline != "" || *timelineCSV != "" || *timelineHTML != "" {
+	if *timeline != "" || *timelineCSV != "" || *timelineHTML != "" || *sloReport {
 		spec := harness.TimelineSpec{
 			DurationMs:       60_000 * scale,
 			SampleIntervalMs: *sampleIvMs,
@@ -192,6 +194,9 @@ func main() {
 			return harness.WriteTimelineHTML(f, title, tlr.Series)
 		})
 		fmt.Println(tlr.Report.String())
+		if *sloReport {
+			fmt.Println(harness.SLOReport(tlr, *sloTarget).String())
+		}
 		return
 	}
 

@@ -52,11 +52,23 @@ func main() {
 		spanCap = flag.Int("span-ring", 4096, "spans retained per /debug/traces endpoint")
 		tlIv    = flag.Duration("timeline-interval", time.Second, "wall-clock sample interval for the /debug/timeline series (0 disables the samplers)")
 		tlCap   = flag.Int("timeline-ring", 600, "samples retained per /debug/timeline endpoint")
+		sloPct  = flag.Float64("slo-target", 99, "SLO target percentile for the /debug/slo burn trackers (deadline = -budget)")
 	)
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "isnserver")
 	met := server.NewMetrics(reg)
+	// One SLO burn tracker per listener, created up front so the shared
+	// /metrics handler can refresh every binding's gauges at scrape time
+	// without racing listener startup.
+	sloCfg := telemetry.SLOConfig{DeadlineMs: *budget, TargetPct: *sloPct}
+	sloISN := make([]*server.SLOBinding, *shards)
+	for s := range sloISN {
+		sloISN[s] = server.NewSLOBinding(reg, fmt.Sprintf("isn-%d", s), sloCfg)
+	}
+	sloAgg := server.NewSLOBinding(reg, "aggregator", sloCfg)
+	metricsHandler := server.MetricsWithSLO(reg, append(append([]*server.SLOBinding{}, sloISN...), sloAgg)...)
 
 	var urls []string
 	for s := 0; s < *shards; s++ {
@@ -88,13 +100,15 @@ func main() {
 		isn.Tracer = tracer
 		spans := telemetry.NewSpanTracer(*spanCap)
 		isn.Spans = spans
+		isn.SLO = sloISN[s]
 		isn.Start()
 
 		mux := http.NewServeMux()
 		mux.Handle("/search", isn)
-		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+		mux.Handle("/metrics", metricsHandler)
 		mux.Handle("/debug/decisions", telemetry.DecisionsHandler(tracer, 100))
 		mux.Handle("/debug/traces", telemetry.TracesHandler(spans, 20))
+		mux.Handle("/debug/slo", sloISN[s].Handler(120))
 		if *tlIv > 0 {
 			sampler := server.StartTimeline(isn.TimelineCounters, ladderGHz(), *tlIv, *tlCap)
 			mux.Handle("/debug/timeline", sampler.Handler(60))
@@ -121,12 +135,14 @@ func main() {
 	aggSpans := telemetry.NewSpanTracer(*spanCap)
 	agg.Spans = aggSpans
 	agg.TraceSample = *sample
+	agg.SLO = sloAgg
 
 	mux := http.NewServeMux()
 	mux.Handle("/search", agg)
-	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/metrics", metricsHandler)
 	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(aggTracer, 100))
 	mux.Handle("/debug/traces", telemetry.TracesHandler(aggSpans, 20))
+	mux.Handle("/debug/slo", sloAgg.Handler(120))
 	if *tlIv > 0 {
 		sampler := server.StartTimeline(agg.TimelineCounters, nil, *tlIv, *tlCap)
 		mux.Handle("/debug/timeline", sampler.Handler(60))

@@ -34,6 +34,9 @@ type TimelineResult struct {
 	Series *telemetry.Timeseries
 	Res    *sim.TopologyResult
 	Spec   TimelineSpec // spec after defaulting
+	// BudgetMs is the workload's latency budget — the SLO deadline the
+	// series' slo_violations column was classified against.
+	BudgetMs float64
 }
 
 // TimelineReport runs one topology cell with the fixed-interval sampler
@@ -92,7 +95,7 @@ func (p *Platform) TimelineReport(spec TimelineSpec, workers int) (*TimelineResu
 	})
 
 	rep := timelineTable(cfg.Series, spec, res)
-	return &TimelineResult{Report: rep, Series: cfg.Series, Res: res, Spec: spec}, nil
+	return &TimelineResult{Report: rep, Series: cfg.Series, Res: res, Spec: spec, BudgetMs: wl.BudgetMs}, nil
 }
 
 // timelineDisplayBuckets caps the drift/overload table length: longer runs

@@ -35,6 +35,22 @@ func TestNoDeterminismRawSourceIsSimScoped(t *testing.T) {
 		"fixture/internal/harness", lint.NoDeterminism)
 }
 
+func TestNoDeterminismTelemetryInScope(t *testing.T) {
+	l := loaderFor(t)
+	// internal/telemetry joined the deterministic contract with the SLO
+	// tracker: explicit-nowMs APIs in, wall clocks out.
+	linttest.Run(t, l, linttest.Fixture(t, "nodeterminism_telemetry"),
+		"fixture/internal/telemetry", lint.NoDeterminism)
+}
+
+func TestNoDeterminismExemptsLoadGenerator(t *testing.T) {
+	l := loaderFor(t)
+	// cmd/geminiload measures real latencies by design: wall clocks are the
+	// point there, so the fixture has no want comments.
+	linttest.Run(t, l, linttest.Fixture(t, "nodeterminism_cmdload"),
+		"fixture/cmd/geminiload", lint.NoDeterminism)
+}
+
 func TestNoDeterminismIgnoresOtherPackages(t *testing.T) {
 	l := loaderFor(t)
 	// The fixture has wall-clock and global-rand uses but no want comments:

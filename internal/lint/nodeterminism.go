@@ -11,7 +11,9 @@ import (
 
 // NoDeterminism forbids nondeterminism sources in the packages behind the
 // byte-identical serial-vs-parallel report contract (internal/sim,
-// internal/policy, internal/harness): wall-clock reads (time.Now/Since/
+// internal/policy, internal/harness, internal/telemetry — the SLO trackers
+// and samplers take every timestamp explicitly, so wall clocks stay confined
+// to cmd/ and internal/server): wall-clock reads (time.Now/Since/
 // Until), the global math/rand source (seeded per-process, order-dependent
 // under parallel runs), and map iteration that feeds order-sensitive output.
 // Seeded rand.New(rand.NewSource(...)) generators remain the determinism
@@ -33,6 +35,7 @@ var deterministicPkgs = []string{
 	"internal/sim",
 	"internal/policy",
 	"internal/harness",
+	"internal/telemetry",
 }
 
 // bannedClock are wall-clock reads in package time.

@@ -158,7 +158,7 @@ type sampler struct {
 //gemini:hotpath
 func (s *sampler) onArrival() {
 	if s.tsc != nil {
-		s.tsc.OnArrival() // fine: nil-check guard exempts the enabled path
+		s.tsc.OnArrival(1) // fine: nil-check guard exempts the enabled path
 	}
 }
 

@@ -1,0 +1,18 @@
+// Fixture proving the nodeterminism ban stops at the cmd/ boundary: the
+// load generator measures real latencies against a wall clock by design
+// (only its *schedule* is deterministic, drawn from PartitionedRNG before
+// the first clock read). Checked under import path fixture/cmd/geminiload —
+// no want comments, the analyzer must stay silent.
+package fixture
+
+import (
+	"time"
+)
+
+func latencyAgainstIntended(intended time.Time) float64 {
+	return float64(time.Since(intended)) / float64(time.Millisecond)
+}
+
+func runStart() time.Time {
+	return time.Now()
+}

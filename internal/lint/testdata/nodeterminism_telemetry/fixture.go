@@ -1,0 +1,37 @@
+// Fixture proving internal/telemetry is inside the nodeterminism contract:
+// the SLO trackers and samplers take every timestamp as an explicit nowMs
+// argument, so a wall-clock read here would smuggle real time into the
+// byte-identical serial-vs-parallel exports. Checked under import path
+// fixture/internal/telemetry.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type tracker struct {
+	good, bad uint64
+}
+
+func (t *tracker) observe(nowMs, latencyMs, deadlineMs float64) {
+	if latencyMs <= deadlineMs {
+		t.good++
+	} else {
+		t.bad++
+	}
+	_ = nowMs // the sanctioned shape: time arrives as a parameter
+}
+
+func (t *tracker) observeWallClock(latencyMs, deadlineMs float64) {
+	now := time.Now() // want `time\.Now reads the wall clock`
+	t.observe(float64(now.UnixNano())/1e6, latencyMs, deadlineMs)
+}
+
+func (t *tracker) ageMs(start time.Time) float64 {
+	return float64(time.Since(start)) / 1e6 // want `time\.Since reads the wall clock`
+}
+
+func jitteredSample() float64 {
+	return rand.Float64() // want `global math/rand\.Float64 draws from the process-wide source`
+}

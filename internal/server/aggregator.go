@@ -73,6 +73,11 @@ type Aggregator struct {
 	// queries that carry TraceHeader to the shards and get a stitched
 	// waterfall (1 = every query, 0 = tracing off even with Spans set).
 	TraceSample float64
+	// SLO, when non-nil, receives every aggregation's outcome for
+	// error-budget burn tracking: successes classified by end-to-end wall
+	// latency, outright failures as bad events. Served at /debug/slo and as
+	// gemini_slo_* families by cmd/isnserver.
+	SLO *SLOBinding
 
 	mu        sync.Mutex
 	seq       int
@@ -85,7 +90,9 @@ type Aggregator struct {
 	tlArrivals    uint64
 	tlCompletions uint64
 	tlDrops       uint64
+	tlViolations  uint64 // cumulative completions past the budget
 	tlInFlight    int
+	tlHW          float64 // deepest in-flight count this sample window
 	tlLats        []float64
 }
 
@@ -276,9 +283,21 @@ collect:
 	return agg, nil
 }
 
-// tlFinish settles one aggregation's timeline accounting: successful queries
-// complete with their wall latency, failed ones count as drops.
+// tlFinish settles one aggregation's accounting: successful queries complete
+// with their wall latency (classified against the budget for the timeline's
+// violation column and the SLO binding), failed ones count as drops / bad
+// budget burn.
 func (a *Aggregator) tlFinish(start time.Time, ok bool) {
+	latencyMs := msSince(start)
+	if ok {
+		a.SLO.Observe(latencyMs)
+	} else {
+		a.SLO.ObserveBad()
+	}
+	budget := a.BudgetMs
+	if budget <= 0 {
+		budget = DefaultBudgetMs
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.tlInFlight > 0 {
@@ -289,7 +308,10 @@ func (a *Aggregator) tlFinish(start time.Time, ok bool) {
 	}
 	if ok {
 		a.tlCompletions++
-		a.tlLats = append(a.tlLats, msSince(start))
+		a.tlLats = append(a.tlLats, latencyMs)
+		if latencyMs > budget {
+			a.tlViolations++
+		}
 	} else {
 		a.tlDrops++
 	}
@@ -305,6 +327,9 @@ func (a *Aggregator) begin(start time.Time) (seq int, t0 time.Time, traceID stri
 	if a.tlOn {
 		a.tlArrivals++
 		a.tlInFlight++
+		if float64(a.tlInFlight) > a.tlHW {
+			a.tlHW = float64(a.tlInFlight)
+		}
 	}
 	if a.startedAt.IsZero() {
 		a.startedAt = start
@@ -403,6 +428,17 @@ func (a *Aggregator) shardError(idx int, firstErr *error, err error, agg *AggRes
 // observe records a completed aggregation into the metrics bundle and the
 // decision trace. seq and t0 were allocated by begin at Search start.
 func (a *Aggregator) observe(agg *AggResponse, seq int, t0 time.Time, start time.Time) {
+	if a.Metrics == nil && a.Tracer == nil {
+		return
+	}
+	// Self-overhead meter: see ISN.observe — the cost of observation itself.
+	obsStart := time.Now()
+	defer func() {
+		if a.Metrics != nil {
+			a.Metrics.obsNs.Add(uint64(time.Since(obsStart).Nanoseconds()))
+			a.Metrics.obsCount.Inc()
+		}
+	}()
 	if a.Metrics != nil {
 		a.Metrics.aggRequests.Inc()
 		a.Metrics.aggLatency.Observe(agg.LatencyMs)

@@ -97,6 +97,11 @@ type ISN struct {
 	// endpoint; the same spans travel back in the response envelope either
 	// way.
 	Spans *telemetry.SpanTracer
+	// SLO, when non-nil, receives every request's outcome for error-budget
+	// burn tracking: served requests classified by wall latency against the
+	// binding's deadline, queue-full rejections as bad events. Served at
+	// /debug/slo and as gemini_slo_* families by cmd/isnserver.
+	SLO *SLOBinding
 
 	queue   chan isnTask
 	started sync.Once
@@ -122,6 +127,8 @@ type ISN struct {
 	tlArrivals    uint64
 	tlCompletions uint64
 	tlDrops       uint64
+	tlViolations  uint64  // cumulative completions past the budget
+	tlHW          float64 // deepest queue this sample window
 	tlLats        []float64
 
 	met *isnInstruments
@@ -232,6 +239,17 @@ func (n *ISN) observe(resp *ISNResponse, start time.Time, depth int, traceID str
 	if n.met == nil && n.Tracer == nil && traceID == "" {
 		return
 	}
+	// Self-overhead meter: the wall cost of this observation block itself
+	// (metrics, modeled plan, decision emit, span assembly), so "bounded when
+	// enabled" is a measured claim. The clock reads only run when telemetry
+	// is on — the disabled path returned above.
+	obsStart := time.Now()
+	defer func() {
+		if n.met != nil {
+			n.met.obsNs.Add(uint64(time.Since(obsStart).Nanoseconds()))
+			n.met.obsCount.Inc()
+		}
+	}()
 	latencyMs := msSince(start)
 	budget := n.BudgetMs
 	if budget <= 0 {
@@ -422,6 +440,9 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	depth := n.depth
 	if n.tlOn {
 		n.tlArrivals++
+		if float64(depth) > n.tlHW {
+			n.tlHW = float64(depth)
+		}
 	}
 	n.mu.Unlock()
 	if n.met != nil {
@@ -438,16 +459,26 @@ func (n *ISN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			n.tlDrops++
 		}
 		n.mu.Unlock()
+		n.SLO.ObserveBad() // shed work burns budget without a latency
 		http.Error(w, "queue full", http.StatusServiceUnavailable)
 		return
 	}
 	resp := <-respCh
 	resp.QueueDepth = depth
 	n.observe(&resp, start, depth, traceID)
+	latencyMs := msSince(start)
+	n.SLO.Observe(latencyMs)
+	budget := n.BudgetMs
+	if budget <= 0 {
+		budget = DefaultBudgetMs
+	}
 	n.mu.Lock()
 	if n.tlOn {
 		n.tlCompletions++
-		n.tlLats = append(n.tlLats, msSince(start))
+		n.tlLats = append(n.tlLats, latencyMs)
+		if latencyMs > budget {
+			n.tlViolations++
+		}
 	}
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

@@ -40,6 +40,11 @@ const (
 	isnPredErrHelp     = "Absolute error of the predicted service time S* versus the modeled actual, in milliseconds, by shard."
 	isnPredCoverName   = "gemini_isn_predictions_covered_total"
 	isnPredCoverHelp   = "Predictions whose budgeted estimate S*+E* bounded the actual service time, by shard."
+
+	obsNsName    = "gemini_telemetry_observe_ns_total"
+	obsNsHelp    = "Cumulative wall nanoseconds spent in per-request observation blocks (metrics, decision trace, span assembly) across the process."
+	obsCountName = "gemini_telemetry_observations_total"
+	obsCountHelp = "Per-request observation blocks executed across the process (divide observe_ns by this for mean per-request telemetry cost)."
 )
 
 // predErrBuckets matches the tracer's prediction-quality view: the paper
@@ -56,6 +61,11 @@ type Metrics struct {
 	aggErrors   *telemetry.Counter
 	aggLatency  *telemetry.Histogram
 	aggPartials *telemetry.Counter
+
+	// Telemetry self-overhead meter, shared by every listener of the process
+	// (the cost being measured is process-wide, not per-shard).
+	obsNs    *telemetry.Counter
+	obsCount *telemetry.Counter
 }
 
 // NewMetrics builds the bundle on reg (a fresh registry when nil) and
@@ -70,6 +80,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		aggErrors:   reg.Counter(aggErrorsName, aggErrorsHelp),
 		aggLatency:  reg.Histogram(aggLatencyName, aggLatencyHelp, nil),
 		aggPartials: reg.Counter(aggPartialsName, aggPartialsHelp),
+		obsNs:       reg.Counter(obsNsName, obsNsHelp),
+		obsCount:    reg.Counter(obsCountName, obsCountHelp),
 	}
 }
 
@@ -99,6 +111,9 @@ type isnInstruments struct {
 	predTotal   *telemetry.Counter
 	predAbsErr  *telemetry.Histogram
 	predCovered *telemetry.Counter
+	// Process-wide self-overhead meter, shared with the bundle.
+	obsNs    *telemetry.Counter
+	obsCount *telemetry.Counter
 }
 
 func (m *Metrics) isnInstruments(shard int) *isnInstruments {
@@ -114,5 +129,7 @@ func (m *Metrics) isnInstruments(shard int) *isnInstruments {
 		predTotal:   r.Counter(isnPredTotalName, isnPredTotalHelp, l),
 		predAbsErr:  r.Histogram(isnPredErrName, isnPredErrHelp, predErrBuckets, l),
 		predCovered: r.Counter(isnPredCoverName, isnPredCoverHelp, l),
+		obsNs:       m.obsNs,
+		obsCount:    m.obsCount,
 	}
 }

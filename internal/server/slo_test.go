@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gemini/internal/corpus"
+	"gemini/internal/index"
+	"gemini/internal/search"
+	"gemini/internal/telemetry"
+)
+
+// TestSLOBindingLive drives a live ISN through an SLO binding with an
+// impossible deadline and checks the whole observable surface: the
+// gemini_slo_* families and gemini_build_info on /metrics, and the
+// /debug/slo snapshot schema.
+func TestSLOBindingLive(t *testing.T) {
+	spec := corpus.SmallSpec()
+	c := corpus.Generate(spec)
+	eng := search.NewEngine(index.Build(c), search.DefaultK)
+	isn := NewISN(0, c, eng, search.DefaultCostModel())
+
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "test")
+	// Sub-microsecond deadline: every completion burns budget, so bad counts
+	// and burn rates must be visibly nonzero after a handful of requests.
+	isn.SLO = NewSLOBinding(reg, "isn-0", telemetry.SLOConfig{DeadlineMs: 1e-6, TargetPct: 99})
+	isn.Start()
+	t.Cleanup(isn.Stop)
+	srv := httptest.NewServer(isn)
+	t.Cleanup(srv.Close)
+
+	const reqs = 5
+	for i := 0; i < reqs; i++ {
+		if resp, _ := postSearchTo(t, srv.URL, "canada"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	metrics := httptest.NewServer(MetricsWithSLO(reg, isn.SLO))
+	t.Cleanup(metrics.Close)
+	resp, err := http.Get(metrics.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`gemini_build_info{`,
+		`engine="test"`,
+		`gemini_slo_good_total{listener="isn-0"} 0`,
+		`gemini_slo_bad_total{listener="isn-0"} 5`,
+		`gemini_slo_deadline_ms{listener="isn-0"}`,
+		`gemini_slo_target_pct{listener="isn-0"} 99`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	// Gauge values are floats (burn ≈ 100, remaining ≈ -99): assert sign and
+	// presence rather than exact decimal rendering.
+	if !strings.Contains(text, `gemini_slo_burn_rate{listener="isn-0",window_ms="1000"} `) ||
+		strings.Contains(text, `gemini_slo_burn_rate{listener="isn-0",window_ms="1000"} 0`+"\n") {
+		t.Errorf("short-window burn rate missing or zero under total violation:\n%s", text)
+	}
+	if !strings.Contains(text, `gemini_slo_budget_remaining{listener="isn-0"} -`) {
+		t.Errorf("budget_remaining not negative under total violation:\n%s", text)
+	}
+
+	slo := httptest.NewServer(isn.SLO.Handler(60))
+	t.Cleanup(slo.Close)
+	resp, err = http.Get(slo.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.SLOSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /debug/slo: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Good != 0 || snap.Bad != reqs {
+		t.Fatalf("snapshot = %d/%d, want 0/%d", snap.Good, snap.Bad, reqs)
+	}
+	if len(snap.Windows) != 3 || !snap.FastBurn {
+		t.Fatalf("windows = %d fastBurn = %v, want 3 windows and fast burn firing", len(snap.Windows), snap.FastBurn)
+	}
+	if len(snap.Buckets) == 0 {
+		t.Fatalf("snapshot carries no buckets")
+	}
+
+	resp, err = http.Get(slo.URL + "?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?n=bogus status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSLOBindingNilSafe: listeners without a binding must serve unchanged.
+func TestSLOBindingNilSafe(t *testing.T) {
+	var b *SLOBinding
+	b.Observe(1)
+	b.ObserveBad()
+	b.Refresh()
+	s := b.Snapshot(1)
+	if s.Windows == nil {
+		t.Fatal("nil binding snapshot must carry empty windows")
+	}
+}
+
+// TestTelemetrySelfOverheadMeter: the per-request observation cost counters
+// must advance when a listener is instrumented.
+func TestTelemetrySelfOverheadMeter(t *testing.T) {
+	spec := corpus.SmallSpec()
+	c := corpus.Generate(spec)
+	eng := search.NewEngine(index.Build(c), search.DefaultK)
+	isn := NewISN(0, c, eng, search.DefaultCostModel())
+	met := NewMetrics(nil)
+	isn.Instrument(met)
+	isn.Start()
+	t.Cleanup(isn.Stop)
+	srv := httptest.NewServer(isn)
+	t.Cleanup(srv.Close)
+
+	const reqs = 3
+	for i := 0; i < reqs; i++ {
+		if resp, _ := postSearchTo(t, srv.URL, "canada"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := met.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "gemini_telemetry_observations_total 3") {
+		t.Errorf("observation count missing or wrong:\n%s", text)
+	}
+	if strings.Contains(text, "gemini_telemetry_observe_ns_total 0\n") {
+		t.Errorf("observe_ns stayed zero across %d instrumented requests", reqs)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -24,10 +25,15 @@ import (
 // DVFS model), and the latency window drained since the previous call.
 type TimelineCounters struct {
 	Arrivals, Completions, Drops uint64  // cumulative
+	Violations                   uint64  // cumulative completions past the budget
 	QueueDepth, InFlight         float64 // instantaneous
-	EnergyMJ                     float64 // cumulative modeled energy
-	FreqLevel                    int     // current modeled ladder index, -1 = none
-	LatenciesMs                  []float64
+	// QueueHighWater is the deepest queue observed since the previous drain
+	// (the per-window saturation mark; reset to the instantaneous depth on
+	// each call, mirroring the simulator cursor's carry-over rule).
+	QueueHighWater float64
+	EnergyMJ       float64 // cumulative modeled energy
+	FreqLevel      int     // current modeled ladder index, -1 = none
+	LatenciesMs    []float64
 }
 
 // TimelineSampler samples a TimelineCounters source on a wall-clock ticker
@@ -60,19 +66,30 @@ func (s *TimelineSampler) run(src func() TimelineCounters, interval time.Duratio
 	defer tick.Stop()
 	var prev TimelineCounters
 	lastMs := 0.0
+	// Runtime self-telemetry baseline: GC pause and heap deltas are measured
+	// window over window, anchored at sampler start.
+	var mem, lastMem runtime.MemStats
+	runtime.ReadMemStats(&lastMem)
 	for {
 		select {
 		case now := <-tick.C:
 			cur := src()
 			nowMs := msBetween(t0, now)
+			runtime.ReadMemStats(&mem)
 			row := telemetry.TimeseriesRow{
-				TimeMs:      nowMs,
-				QueueDepth:  cur.QueueDepth,
-				InFlight:    cur.InFlight,
-				Arrivals:    cur.Arrivals - prev.Arrivals,
-				Completions: cur.Completions - prev.Completions,
-				Drops:       cur.Drops - prev.Drops,
+				TimeMs:         nowMs,
+				QueueDepth:     cur.QueueDepth,
+				InFlight:       cur.InFlight,
+				Arrivals:       cur.Arrivals - prev.Arrivals,
+				Completions:    cur.Completions - prev.Completions,
+				Drops:          cur.Drops - prev.Drops,
+				SLOViolations:  cur.Violations - prev.Violations,
+				QueueHighWater: cur.QueueHighWater,
+				Goroutines:     float64(runtime.NumGoroutine()),
+				GCPauseMs:      float64(mem.PauseTotalNs-lastMem.PauseTotalNs) / 1e6,
+				HeapDeltaBytes: float64(mem.HeapAlloc) - float64(lastMem.HeapAlloc),
 			}
+			lastMem = mem
 			if dt := nowMs - lastMs; dt > 0 {
 				row.PowerW = (cur.EnergyMJ - prev.EnergyMJ) / dt
 			}
@@ -130,18 +147,24 @@ func (n *ISN) TimelineCounters() TimelineCounters {
 	defer n.mu.Unlock()
 	n.tlOn = true
 	tc := TimelineCounters{
-		Arrivals:    n.tlArrivals,
-		Completions: n.tlCompletions,
-		Drops:       n.tlDrops,
-		QueueDepth:  float64(n.depth),
-		EnergyMJ:    n.energyMJ,
-		FreqLevel:   n.ladder.Index(n.modelFreq),
-		LatenciesMs: n.tlLats,
+		Arrivals:       n.tlArrivals,
+		Completions:    n.tlCompletions,
+		Drops:          n.tlDrops,
+		Violations:     n.tlViolations,
+		QueueDepth:     float64(n.depth),
+		QueueHighWater: n.tlHW,
+		EnergyMJ:       n.energyMJ,
+		FreqLevel:      n.ladder.Index(n.modelFreq),
+		LatenciesMs:    n.tlLats,
+	}
+	if float64(n.depth) > tc.QueueHighWater {
+		tc.QueueHighWater = float64(n.depth)
 	}
 	if n.depth > 0 {
 		tc.InFlight = 1 // the single working thread (Fig. 9)
 	}
 	n.tlLats = nil
+	n.tlHW = float64(n.depth) // carry the boundary depth into the next window
 	return tc
 }
 
@@ -153,14 +176,20 @@ func (a *Aggregator) TimelineCounters() TimelineCounters {
 	defer a.mu.Unlock()
 	a.tlOn = true
 	tc := TimelineCounters{
-		Arrivals:    a.tlArrivals,
-		Completions: a.tlCompletions,
-		Drops:       a.tlDrops,
-		QueueDepth:  float64(a.tlInFlight),
-		InFlight:    float64(a.tlInFlight),
-		FreqLevel:   -1,
-		LatenciesMs: a.tlLats,
+		Arrivals:       a.tlArrivals,
+		Completions:    a.tlCompletions,
+		Drops:          a.tlDrops,
+		Violations:     a.tlViolations,
+		QueueDepth:     float64(a.tlInFlight),
+		InFlight:       float64(a.tlInFlight),
+		QueueHighWater: a.tlHW,
+		FreqLevel:      -1,
+		LatenciesMs:    a.tlLats,
+	}
+	if float64(a.tlInFlight) > tc.QueueHighWater {
+		tc.QueueHighWater = float64(a.tlInFlight)
 	}
 	a.tlLats = nil
+	a.tlHW = float64(a.tlInFlight) // carry the boundary depth forward
 	return tc
 }

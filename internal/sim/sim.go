@@ -255,6 +255,10 @@ func Run(cfg Config, wl *Workload, pol Policy) *Result {
 		s.tsc = cfg.Series.StartRun(wl.DurationMs)
 		if s.tsc != nil {
 			s.tsc.SetLevel(cfg.Ladder.Index(cfg.StartFreq))
+			// The workload's latency budget is the SLO deadline: completions
+			// past it land in the rows' slo_violations column. Identical per
+			// core, so sharded merges stay byte-identical.
+			s.tsc.SetSLODeadline(wl.BudgetMs)
 			// Armed before pol.Init so a boundary coinciding with a policy
 			// timer samples first in both engines (lower insertion seq).
 			s.SetTimer(s.tsc.NextAt(), SampleTimerTag)
@@ -816,7 +820,7 @@ func (s *Sim) arrive(r *Request) {
 		s.refreshHead()
 	}
 	if s.tsc != nil {
-		s.tsc.OnArrival()
+		s.tsc.OnArrival(float64(s.qlen())) // depth includes this request
 	}
 	if s.tr != nil {
 		s.pending[r] = &telemetry.Decision{

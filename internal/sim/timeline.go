@@ -114,6 +114,16 @@ func mergeTimeseries(dst *telemetry.Timeseries, perCore []*telemetry.Timeseries,
 			out.Arrivals += r.Arrivals
 			out.Completions += r.Completions
 			out.Drops += r.Drops
+			out.SLOViolations += r.SLOViolations
+			// Per-core high-water marks sum: an upper bound on the
+			// cluster-wide instantaneous peak (cores peak at different
+			// instants), consistent with QueueDepth summing above.
+			out.QueueHighWater += r.QueueHighWater
+			// Runtime self-telemetry is zero in simulator rows; summing
+			// keeps the merge total even if a producer ever sets it.
+			out.Goroutines += r.Goroutines
+			out.GCPauseMs += r.GCPauseMs
+			out.HeapDeltaBytes += r.HeapDeltaBytes
 			for i := range resid {
 				if i < len(r.Residency) {
 					resid[i] += r.Residency[i]

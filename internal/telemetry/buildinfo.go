@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoFamily is the standard Prometheus build-metadata gauge: constant
+// value 1, with the interesting facts carried as labels so dashboards can
+// join fleet metrics against the binary that produced them.
+const BuildInfoFamily = "gemini_build_info"
+
+// RegisterBuildInfo installs the gemini_build_info gauge on reg, following
+// the <name>_build_info convention: value fixed at 1, labeled with the
+// module version (from the embedded build info; "unknown" when the binary
+// was built without module metadata), the Go toolchain version, and the
+// caller-supplied engine identifier (e.g. "isnserver", "geminiload").
+// Registering is idempotent per (reg, labels).
+func RegisterBuildInfo(reg *Registry, engine string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.Gauge(BuildInfoFamily,
+		"Build metadata: constant 1 labeled with module version, Go toolchain, and serving engine.",
+		L("version", version),
+		L("go_version", runtime.Version()),
+		L("engine", engine),
+	).Set(1)
+}

@@ -2,9 +2,36 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 )
+
+// MaxDebugN is the hard ceiling on the ?n= result-count parameter accepted
+// by every /debug/ JSON handler (decisions, traces, timeline, slo). Debug
+// endpoints are scraped during soaks while the server is saturated; an
+// unbounded body on a large ring would stall the very listener under test.
+const MaxDebugN = 10000
+
+// ClampDebugN parses a ?n= query value with the shared /debug/ semantics:
+// missing → def, invalid or negative → error (the handler answers 400),
+// 0 (historically "everything retained") and anything above MaxDebugN →
+// MaxDebugN. The default is clamped too, so no handler can be configured
+// past the ceiling.
+func ClampDebugN(s string, def int) (int, error) {
+	n := def
+	if s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad n parameter %q", s)
+		}
+		n = v
+	}
+	if n <= 0 || n > MaxDebugN {
+		n = MaxDebugN
+	}
+	return n, nil
+}
 
 // MetricsHandler serves the registry in the Prometheus text exposition
 // format — mount it at /metrics.
@@ -26,14 +53,10 @@ type tracesPayload struct {
 // count (default defaultN; n=0 returns every retained trace).
 func TracesHandler(t *SpanTracer, defaultN int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := defaultN
-		if s := r.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				http.Error(w, "bad n parameter", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, err := ClampDebugN(r.URL.Query().Get("n"), defaultN)
+		if err != nil {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
 		}
 		payload := tracesPayload{Traces: []TraceView{}}
 		if t != nil {
@@ -61,14 +84,10 @@ type decisionsPayload struct {
 // (default defaultN; n=0 returns everything retained).
 func DecisionsHandler(t *Tracer, defaultN int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := defaultN
-		if s := r.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				http.Error(w, "bad n parameter", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, err := ClampDebugN(r.URL.Query().Get("n"), defaultN)
+		if err != nil {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
 		}
 		payload := decisionsPayload{Decisions: []Decision{}}
 		if t != nil {

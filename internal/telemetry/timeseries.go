@@ -53,6 +53,22 @@ type TimeseriesRow struct {
 	P50Ms float64 `json:"p50_ms"`
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
+	// SLOViolations counts in-window completions whose latency exceeded the
+	// producer's SLO deadline (zero when no deadline is configured). Always
+	// <= Completions; drops burn budget separately via Drops.
+	SLOViolations uint64 `json:"slo_violations"`
+	// QueueHighWater is the deepest queue observed inside the window — the
+	// saturation signal the boundary-instant QueueDepth smooths away. In a
+	// cluster merge it is the sum of per-core high-water marks (an upper
+	// bound on the cluster-wide instantaneous peak).
+	QueueHighWater float64 `json:"queue_high_water"`
+	// Goroutines, GCPauseMs, HeapDeltaBytes are runtime self-telemetry from
+	// the live wall-clock samplers: goroutine count at the boundary, GC
+	// pause time accumulated inside the window, and the heap-alloc delta
+	// across it. Always zero in simulator rows.
+	Goroutines     float64 `json:"goroutines"`
+	GCPauseMs      float64 `json:"gc_pause_ms"`
+	HeapDeltaBytes float64 `json:"heap_delta_bytes"`
 	// Residency is the fraction of the window spent at each ladder level,
 	// index-aligned with the series' FreqsGHz (averaged across cores in a
 	// cluster merge).
@@ -74,6 +90,8 @@ type Timeseries struct {
 	timeMs, powerW, queueDepth, inFlight []float64
 	arrivals, completions, drops, capThr []uint64
 	capModeledW, p50, p95, p99           []float64
+	sloViol                              []uint64
+	queueHW, goroutines, gcPause, heapD  []float64
 	resid                                []float64 // capacity × len(freqs), flattened
 }
 
@@ -104,6 +122,11 @@ func NewTimeseries(intervalMs float64, freqsGHz []float64, capacity int) *Timese
 		p50:         make([]float64, capacity),
 		p95:         make([]float64, capacity),
 		p99:         make([]float64, capacity),
+		sloViol:     make([]uint64, capacity),
+		queueHW:     make([]float64, capacity),
+		goroutines:  make([]float64, capacity),
+		gcPause:     make([]float64, capacity),
+		heapD:       make([]float64, capacity),
 		resid:       make([]float64, capacity*len(fs)),
 	}
 }
@@ -180,6 +203,11 @@ func (t *Timeseries) Append(row TimeseriesRow) {
 	t.p50[i] = row.P50Ms
 	t.p95[i] = row.P95Ms
 	t.p99[i] = row.P99Ms
+	t.sloViol[i] = row.SLOViolations
+	t.queueHW[i] = row.QueueHighWater
+	t.goroutines[i] = row.Goroutines
+	t.gcPause[i] = row.GCPauseMs
+	t.heapD[i] = row.HeapDeltaBytes
 	lv := len(t.freqs)
 	dst := t.resid[i*lv : (i+1)*lv]
 	for j := range dst {
@@ -200,19 +228,24 @@ func (t *Timeseries) row(k int) TimeseriesRow {
 	res := make([]float64, lv)
 	copy(res, t.resid[i*lv:(i+1)*lv])
 	return TimeseriesRow{
-		TimeMs:       t.timeMs[i],
-		PowerW:       t.powerW[i],
-		QueueDepth:   t.queueDepth[i],
-		InFlight:     t.inFlight[i],
-		Arrivals:     t.arrivals[i],
-		Completions:  t.completions[i],
-		Drops:        t.drops[i],
-		CapThrottles: t.capThr[i],
-		CapModeledW:  t.capModeledW[i],
-		P50Ms:        t.p50[i],
-		P95Ms:        t.p95[i],
-		P99Ms:        t.p99[i],
-		Residency:    res,
+		TimeMs:         t.timeMs[i],
+		PowerW:         t.powerW[i],
+		QueueDepth:     t.queueDepth[i],
+		InFlight:       t.inFlight[i],
+		Arrivals:       t.arrivals[i],
+		Completions:    t.completions[i],
+		Drops:          t.drops[i],
+		CapThrottles:   t.capThr[i],
+		CapModeledW:    t.capModeledW[i],
+		P50Ms:          t.p50[i],
+		P95Ms:          t.p95[i],
+		P99Ms:          t.p99[i],
+		SLOViolations:  t.sloViol[i],
+		QueueHighWater: t.queueHW[i],
+		Goroutines:     t.goroutines[i],
+		GCPauseMs:      t.gcPause[i],
+		HeapDeltaBytes: t.heapD[i],
+		Residency:      res,
 	}
 }
 
@@ -263,7 +296,8 @@ func (t *Timeseries) WriteCSV(w io.Writer) error {
 	}
 	cols := []string{"time_ms", "power_watts", "queue_depth", "in_flight",
 		"arrivals", "completions", "drops", "cap_throttles", "cap_modeled_watts",
-		"p50_ms", "p95_ms", "p99_ms"}
+		"p50_ms", "p95_ms", "p99_ms", "slo_violations", "queue_high_water",
+		"goroutines", "gc_pause_ms", "heap_delta_bytes"}
 	for _, f := range t.FreqsGHz() {
 		cols = append(cols, "resid_"+strconv.FormatFloat(f, 'g', -1, 64))
 	}
@@ -276,6 +310,8 @@ func (t *Timeseries) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(row.Arrivals, 10), strconv.FormatUint(row.Completions, 10),
 			strconv.FormatUint(row.Drops, 10), strconv.FormatUint(row.CapThrottles, 10),
 			fcsv(row.CapModeledW), fcsv(row.P50Ms), fcsv(row.P95Ms), fcsv(row.P99Ms),
+			strconv.FormatUint(row.SLOViolations, 10), fcsv(row.QueueHighWater),
+			fcsv(row.Goroutines), fcsv(row.GCPauseMs), fcsv(row.HeapDeltaBytes),
 		}
 		for _, r := range row.Residency {
 			vals = append(vals, fcsv(r))
@@ -354,6 +390,11 @@ type SampleCursor struct {
 	arrivals, completions, drops uint64
 	resid                        []float64 // ms at each level this window
 	window                       []float64 // latencies completed this window
+
+	// SLO classification and queue saturation (zero-valued when unused).
+	sloDeadlineMs float64 // 0 = no classification
+	sloViolations uint64
+	queueHW       float64 // deepest queue seen this window
 }
 
 // StartRun opens a sampling cursor for one run over [0, durationMs]. Returns
@@ -396,13 +437,35 @@ func (c *SampleCursor) Accrue(dtMs float64) {
 	}
 }
 
-// OnArrival counts one arrival in the current window.
-func (c *SampleCursor) OnArrival() { c.arrivals++ }
+// SetSLODeadline arms deadline classification: subsequent OnCompletion calls
+// with latency above deadlineMs count into the row's SLOViolations column.
+// A non-positive deadline disables classification.
+func (c *SampleCursor) SetSLODeadline(deadlineMs float64) {
+	if deadlineMs < 0 {
+		deadlineMs = 0
+	}
+	c.sloDeadlineMs = deadlineMs
+}
+
+// OnArrival counts one arrival in the current window. depth is the queue
+// depth including the new request — arrivals are the only moments the queue
+// grows, so the per-window high-water mark is the max over these readings
+// and the previous boundary's instantaneous depth.
+func (c *SampleCursor) OnArrival(depth float64) {
+	c.arrivals++
+	if depth > c.queueHW {
+		c.queueHW = depth
+	}
+}
 
 // OnCompletion counts one completion and records its latency for the
-// window's percentiles.
+// window's percentiles, classifying it against the SLO deadline when one is
+// armed.
 func (c *SampleCursor) OnCompletion(latencyMs float64) {
 	c.completions++
+	if c.sloDeadlineMs > 0 && latencyMs > c.sloDeadlineMs {
+		c.sloViolations++
+	}
 	c.window = append(c.window, latencyMs)
 }
 
@@ -415,14 +478,19 @@ func (c *SampleCursor) OnDrop() { c.drops++ }
 // instantaneous queue/in-flight readings — then resets the accumulators and
 // advances to the next boundary.
 func (c *SampleCursor) Sample(nowMs, energyMJ, queueDepth, inFlight float64) {
+	if queueDepth > c.queueHW {
+		c.queueHW = queueDepth
+	}
 	row := TimeseriesRow{
-		TimeMs:      nowMs,
-		QueueDepth:  queueDepth,
-		InFlight:    inFlight,
-		Arrivals:    c.arrivals,
-		Completions: c.completions,
-		Drops:       c.drops,
-		Residency:   c.resid,
+		TimeMs:         nowMs,
+		QueueDepth:     queueDepth,
+		InFlight:       inFlight,
+		Arrivals:       c.arrivals,
+		Completions:    c.completions,
+		Drops:          c.drops,
+		SLOViolations:  c.sloViolations,
+		QueueHighWater: c.queueHW,
+		Residency:      c.resid,
 	}
 	if dt := nowMs - c.lastMs; dt > 0 {
 		// mJ per ms is watts.
@@ -441,6 +509,11 @@ func (c *SampleCursor) Sample(nowMs, energyMJ, queueDepth, inFlight float64) {
 
 	c.lastMs, c.lastEnergyMJ = nowMs, energyMJ
 	c.arrivals, c.completions, c.drops = 0, 0, 0
+	c.sloViolations = 0
+	// The queue only grows at arrivals, so the boundary depth seeds the next
+	// window's high-water mark: a draining queue's mark falls with it, a
+	// saturated one carries over.
+	c.queueHW = queueDepth
 	for i := range c.resid {
 		c.resid[i] = 0
 	}
@@ -463,18 +536,14 @@ type timelinePayload struct {
 
 // TimelineHandler serves the most recent timeline samples as JSON — mount it
 // at /debug/timeline. The ?n= query parameter bounds the sample count
-// (default defaultN; n=0 returns every retained row). The schema matches the
-// simulator's -timeline export row for row.
+// (ClampDebugN semantics: default defaultN, hard ceiling MaxDebugN). The
+// schema matches the simulator's -timeline export row for row.
 func TimelineHandler(t *Timeseries, defaultN int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := defaultN
-		if s := r.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				http.Error(w, "bad n parameter", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, err := ClampDebugN(r.URL.Query().Get("n"), defaultN)
+		if err != nil {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
 		}
 		payload := timelinePayload{Samples: []TimeseriesRow{}}
 		if t != nil {
