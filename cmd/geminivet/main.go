@@ -1,5 +1,7 @@
 // Command geminivet is the driver for the gemini lint suite
-// (internal/lint): nodeterminism, hotpath, unitsafety, freqdomain.
+// (internal/lint): nodeterminism, hotpath, unitsafety, freqdomain,
+// locksafety, metricsconv, timertag — plus the suite-level stale-suppression
+// audit (an //gemini:allow that suppresses nothing is itself an error).
 //
 // It speaks go vet's vettool protocol, so the usual invocation is
 //
@@ -9,16 +11,26 @@
 // in which mode cmd/go calls it once per package with a vet.cfg describing
 // the compiled package (file list, import map, export data), exactly like
 // golang.org/x/tools' unitchecker — re-implemented here on the standard
-// library because the build image has no module proxy.
+// library because the build image has no module proxy. Cross-package facts
+// (the timertag reserved-constant inventory) travel between invocations as
+// JSON in the protocol's vetx files: each run decodes the vetx of its
+// dependencies and encodes its own package's facts into VetxOutput.
 //
 // It also runs standalone, loading packages from source:
 //
 //	geminivet ./...
 //	geminivet -hotpath ./internal/sim ./internal/cpu
+//	geminivet -fix ./...
+//	geminivet -json ./... >vet.json
+//	geminivet -sarif=vet.sarif ./...
 //
 // Per-analyzer boolean flags select a subset; with none set, the full suite
 // runs. Diagnostics go to stderr as file:line:col: messages; the exit status
-// is 2 when any diagnostic is reported, matching go vet.
+// is 2 when any diagnostic is reported, matching go vet. Standalone-only
+// output modes: -fix applies each diagnostic's first suggested fix in place;
+// -json and -sarif write machine-readable reports ("-" or an empty value
+// means stdout) — the SARIF form is what CI uploads for inline PR
+// annotations.
 package main
 
 import (
@@ -41,6 +53,7 @@ import (
 	"gemini/internal/lint"
 	"gemini/internal/lint/analysis"
 	"gemini/internal/lint/load"
+	"gemini/internal/lint/report"
 )
 
 func main() {
@@ -49,6 +62,12 @@ func main() {
 
 // enabled maps analyzer name to its selection flag.
 var enabled = map[string]*bool{}
+
+var (
+	fixFlag   = flag.Bool("fix", false, "apply each diagnostic's first suggested fix to the source (standalone mode)")
+	jsonFlag  = flag.String("json", "", "write diagnostics as JSON to `file` (\"-\" for stdout; standalone mode)")
+	sarifFlag = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to `file` (\"-\" for stdout; standalone mode)")
+)
 
 func run() int {
 	flag.Usage = usage
@@ -76,7 +95,15 @@ func run() int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: geminivet [analyzer flags] <packages>|<vet.cfg>\n\nAnalyzers:\n")
+	fmt.Fprintf(os.Stderr, `usage: geminivet [flags] <packages>|<vet.cfg>
+
+Output modes (standalone):
+  -fix          apply suggested fixes in place
+  -json FILE    machine-readable JSON report ("-" = stdout)
+  -sarif FILE   SARIF 2.1.0 report for CI annotation upload ("-" = stdout)
+
+Analyzers (none selected = full suite, plus the stale //gemini:allow audit):
+`)
 	for _, a := range lint.All() {
 		fmt.Fprintf(os.Stderr, "  -%s\n\t%s\n", a.Name, firstLine(a.Doc))
 	}
@@ -101,6 +128,20 @@ func selected() []*analysis.Analyzer {
 		return lint.All()
 	}
 	return subset
+}
+
+// ruleDocs describes the selected analyzers (and the stale-allow audit,
+// which always rides along) for the SARIF rules table.
+func ruleDocs() []report.RuleDoc {
+	var rules []report.RuleDoc
+	for _, a := range selected() {
+		rules = append(rules, report.RuleDoc{Name: a.Name, Doc: a.Doc})
+	}
+	rules = append(rules, report.RuleDoc{
+		Name: lint.StaleAllowName,
+		Doc:  "flag //gemini:allow suppressions that suppress nothing, name an unknown check, or omit their -- reason",
+	})
+	return rules
 }
 
 // versionFlag implements -V=full: the go command hashes this output into its
@@ -131,7 +172,8 @@ func (versionFlag) Set(s string) error {
 }
 
 // emitFlagDefs answers `geminivet -flags` with the JSON schema cmd/go uses
-// to validate pass-through vet flags.
+// to validate pass-through vet flags. Only analyzer-selection flags are
+// declared: -fix/-json/-sarif are standalone modes, not vet pass-throughs.
 func emitFlagDefs() {
 	type jsonFlag struct {
 		Name  string
@@ -168,6 +210,35 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// loadDepFacts seeds a fact store with the vetx payloads of the package's
+// dependencies. Unreadable or pre-JSON payloads are skipped — a missing fact
+// only narrows what the importing analyzer can see.
+func loadDepFacts(cfg *vetConfig) *analysis.FactStore {
+	facts := analysis.NewFactStore()
+	for dep, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		facts.DecodePackage(dep, data)
+	}
+	return facts
+}
+
+// writeVetxFacts encodes the analyzed package's facts as its vetx payload.
+func writeVetxFacts(cfg *vetConfig, facts *analysis.FactStore) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := facts.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fatal(err)
+	}
+}
+
 // runUnitchecker analyzes one compiled package described by a vet.cfg.
 func runUnitchecker(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
@@ -179,17 +250,27 @@ func runUnitchecker(cfgPath string) int {
 		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
 	}
 
-	// geminivet keeps no cross-package facts, but the protocol requires the
-	// vetx output to exist for the go command's action cache.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte("geminivet: no facts\n"), 0o666); err != nil {
+	facts := loadDepFacts(&cfg)
+
+	if cfg.VetxOnly {
+		// Downstream packages only need this package's facts, not its
+		// diagnostics. Timer-tag facts are defined syntactically, so a plain
+		// parse (no export data, no type check) produces them.
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range cfg.GoFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				continue // a package that does not parse exports no facts
+			}
+			files = append(files, f)
+		}
+		if decls := lint.CollectTimerTagFacts(fset, files); len(decls) > 0 {
+			if err := facts.Export(cfg.ImportPath, "timertag", lint.TimerTagFact{Decls: decls}); err != nil {
 				fatal(err)
 			}
 		}
-	}
-	if cfg.VetxOnly {
-		writeVetx()
+		writeVetxFacts(&cfg, facts)
 		return 0
 	}
 
@@ -199,7 +280,7 @@ func runUnitchecker(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetxFacts(&cfg, facts)
 				return 0
 			}
 			fatal(err)
@@ -239,7 +320,7 @@ func runUnitchecker(cfgPath string) int {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetxFacts(&cfg, facts)
 			return 0
 		}
 		fatal(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
@@ -251,8 +332,8 @@ func runUnitchecker(cfgPath string) int {
 		lint.SetModuleInfo(root, cfg.ModulePath)
 	}
 
-	n := analyze(fset, files, pkg, info)
-	writeVetx()
+	n := analyze(fset, files, pkg, info, facts, nil)
+	writeVetxFacts(&cfg, facts)
 	if n > 0 {
 		return 2
 	}
@@ -279,18 +360,89 @@ func runStandalone(patterns []string) int {
 	if err != nil {
 		fatal(err)
 	}
+	facts := analysis.NewFactStore()
+	var collected []report.Diagnostic
 	total := 0
 	for _, ip := range paths {
 		pkg, err := loader.Load(ip)
 		if err != nil {
 			fatal(err)
 		}
-		total += analyze(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo)
+		var diags []analysis.Diagnostic
+		total += analyze(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo, facts, &diags)
+		for _, d := range diags {
+			collected = append(collected, report.Resolve(pkg.Fset, d))
+		}
+		if *fixFlag {
+			applyFixes(pkg.Fset, pkg.Files, diags)
+		}
+	}
+	if err := writeReports(collected, root); err != nil {
+		fatal(err)
 	}
 	if total > 0 {
 		return 2
 	}
 	return 0
+}
+
+// applyFixes rewrites, in place, every file a diagnostic's first suggested
+// fix edits.
+func applyFixes(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		fixed, n, err := analysis.ApplyFixes(fset, name, src, diags)
+		if err != nil {
+			fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		if err := os.WriteFile(name, fixed, 0o666); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "geminivet: applied %d fix(es) to %s\n", n, name)
+	}
+}
+
+// writeReports emits the -json and -sarif reports when requested. The SARIF
+// output is validated before it is written: CI uploads it sight unseen, so a
+// malformed document must fail here, not in the annotation service.
+func writeReports(diags []report.Diagnostic, moduleRoot string) error {
+	if *jsonFlag != "" {
+		data, err := report.JSON(diags)
+		if err != nil {
+			return err
+		}
+		if err := writeOutput(*jsonFlag, data); err != nil {
+			return err
+		}
+	}
+	if *sarifFlag != "" {
+		data, err := report.SARIF(diags, moduleRoot, ruleDocs())
+		if err != nil {
+			return err
+		}
+		if err := report.ValidateSARIF(data); err != nil {
+			return fmt.Errorf("internal error: generated SARIF is invalid: %w", err)
+		}
+		if err := writeOutput(*sarifFlag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOutput(dest string, data []byte) error {
+	if dest == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(dest, data, 0o666)
 }
 
 // expandPatterns resolves go-style package patterns (dir, ./dir, dir/...)
@@ -347,26 +499,28 @@ func absJoin(wd, p string) string {
 	return filepath.Join(wd, p)
 }
 
-// analyze runs the selected analyzers over one package, printing
-// diagnostics to stderr; returns the diagnostic count.
-func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) int {
+// analyze runs the selected analyzers as one suite (shared //gemini:allow
+// tracking, stale-suppression audit, cross-package facts) over one package,
+// printing diagnostics to stderr; returns the diagnostic count. When sink is
+// non-nil the raw diagnostics are appended to it for -fix/-json/-sarif.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	facts *analysis.FactStore, sink *[]analysis.Diagnostic) int {
 	n := 0
-	for _, a := range selected() {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			Report: func(d analysis.Diagnostic) {
-				p := fset.Position(d.Pos)
-				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", p, d.Message, d.Analyzer)
-				n++
-			},
+	err := lint.RunPackage(lint.SuitePackage{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, selected(), facts, func(d analysis.Diagnostic) {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", p, d.Message, d.Analyzer)
+		if sink != nil {
+			*sink = append(*sink, d)
 		}
-		if err := a.Run(pass); err != nil {
-			fatal(fmt.Errorf("%s: %w", a.Name, err))
-		}
+		n++
+	})
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", pkg.Path(), err))
 	}
 	return n
 }

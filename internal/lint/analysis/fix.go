@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// fileEdit is one TextEdit resolved to byte offsets within a single file.
+type fileEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// fixesForFile collects, from the first suggested fix of each diagnostic,
+// every text edit that lands in file, resolved to byte offsets against fset.
+// Edits outside file (a fix spanning files is invalid by construction) are
+// rejected.
+func fixesForFile(fset *token.FileSet, file string, diags []Diagnostic) ([]fileEdit, error) {
+	var edits []fileEdit
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		for _, e := range fix.TextEdits {
+			p := fset.Position(e.Pos)
+			if p.Filename != file {
+				continue
+			}
+			end := e.End
+			if !end.IsValid() {
+				end = e.Pos
+			}
+			pe := fset.Position(end)
+			if pe.Filename != file {
+				return nil, fmt.Errorf("analysis: fix %q spans files (%s..%s)", fix.Message, p.Filename, pe.Filename)
+			}
+			if pe.Offset < p.Offset {
+				return nil, fmt.Errorf("analysis: fix %q has inverted edit range at %s", fix.Message, p)
+			}
+			edits = append(edits, fileEdit{start: p.Offset, end: pe.Offset, newText: e.NewText})
+		}
+	}
+	return edits, nil
+}
+
+// ApplyFixes rewrites src (the contents of file) with the first suggested
+// fix of every diagnostic that edits it, returning the new bytes and the
+// number of edits applied. Overlapping edits are an error — geminivet fixes
+// are all local single-token rewrites, so an overlap means two analyzers
+// disagree and a human must pick.
+func ApplyFixes(fset *token.FileSet, file string, src []byte, diags []Diagnostic) ([]byte, int, error) {
+	edits, err := fixesForFile(fset, file, diags)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(edits) == 0 {
+		return src, 0, nil
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	for i := 1; i < len(edits); i++ {
+		if edits[i].start < edits[i-1].end {
+			return nil, 0, fmt.Errorf("analysis: overlapping fixes in %s at offsets %d and %d",
+				file, edits[i-1].start, edits[i].start)
+		}
+	}
+	out := make([]byte, 0, len(src)+64)
+	last := 0
+	for _, e := range edits {
+		if e.start > len(src) || e.end > len(src) {
+			return nil, 0, fmt.Errorf("analysis: fix offset %d past end of %s (%d bytes)", e.end, file, len(src))
+		}
+		out = append(out, src[last:e.start]...)
+		out = append(out, e.newText...)
+		last = e.end
+	}
+	out = append(out, src[last:]...)
+	return out, len(edits), nil
+}

@@ -1,4 +1,4 @@
-// Package linttest runs a lint analyzer over fixture source and checks its
+// Package linttest runs lint analyzers over fixture source and checks their
 // diagnostics against `// want "regexp"` expectations, mirroring the
 // golang.org/x/tools/go/analysis/analysistest contract on the stdlib-only
 // analysis framework in this module.
@@ -9,6 +9,16 @@
 // line are space-separated quoted regexps. Diagnostics with no matching
 // expectation, and expectations with no matching diagnostic, both fail the
 // test.
+//
+// Analyzers run through lint.RunPackage, so fixtures also exercise the
+// suite-level machinery: //gemini:allow suppressions are tracked across the
+// whole analyzer set and the stale-suppression audit reports (as analyzer
+// "staleallow") just like in CI.
+//
+// Suggested fixes are golden-file tested: when a fixture file fixture.go has
+// a sibling fixture.go.golden, the first suggested fix of every diagnostic
+// is applied with analysis.ApplyFixes and the result must match the golden
+// bytes exactly (the same transformation `geminivet -fix` performs).
 package linttest
 
 import (
@@ -19,6 +29,7 @@ import (
 	"strings"
 	"testing"
 
+	"gemini/internal/lint"
 	"gemini/internal/lint/analysis"
 	"gemini/internal/lint/load"
 )
@@ -35,46 +46,33 @@ type expectation struct {
 	hit  bool
 }
 
-// Run loads the fixture package rooted at dir, applies each analyzer, and
-// reports mismatches through t. The fixture is type-checked against the real
-// module (fixtures may import gemini/internal/cpu etc.), under a synthetic
-// import path chosen to exercise the analyzer's package gating.
+// Run loads the fixture package rooted at dir, applies the analyzers as one
+// suite (shared allow tracking, stale-suppression audit), and reports
+// mismatches through t. The fixture is type-checked against the real module
+// (fixtures may import gemini/internal/cpu etc.), under a synthetic import
+// path chosen to exercise the analyzer's package gating.
 func Run(t *testing.T, loader *load.Loader, dir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	var files []string
-	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(files)
-	if len(files) == 0 {
-		t.Fatalf("linttest: no fixture files in %s", dir)
-	}
-	pkg, err := loader.CheckFiles(importPath, dir, files)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
+	RunFacts(t, loader, nil, dir, importPath, analyzers...)
+}
 
+// RunFacts is Run with a caller-supplied fact store, letting a test thread
+// facts between fixture packages the way a module-wide run does (seed the
+// store, run package A, then package B sees A's facts).
+func RunFacts(t *testing.T, loader *load.Loader, facts *analysis.FactStore, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, files := loadFixture(t, loader, dir, importPath)
 	expects := parseExpectations(t, files)
 
 	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
-		}
+	err := lint.RunPackage(lint.SuitePackage{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+	}, analyzers, facts, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
 	}
 
 	for _, d := range diags {
@@ -94,6 +92,63 @@ func Run(t *testing.T, loader *load.Loader, dir, importPath string, analyzers ..
 	for _, e := range expects {
 		if !e.hit {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+
+	checkGolden(t, pkg, files, diags)
+}
+
+// loadFixture reads and type-checks the fixture package in dir.
+func loadFixture(t *testing.T, loader *load.Loader, dir, importPath string) (*load.Package, []string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	pkg, err := loader.CheckFiles(importPath, dir, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return pkg, files
+}
+
+// checkGolden compares fix application against <file>.golden siblings. A
+// golden file is mandatory proof: if it exists, applying the diagnostics'
+// first fixes to the fixture must reproduce it byte-for-byte; if fixes edit
+// a file that has no golden sibling, the test fails so fixes never go
+// unasserted.
+func checkGolden(t *testing.T, pkg *load.Package, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	for _, fn := range files {
+		golden := fn + ".golden"
+		goldenBytes, goldenErr := os.ReadFile(golden)
+		hasGolden := goldenErr == nil
+
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		fixed, applied, err := analysis.ApplyFixes(pkg.Fset, fn, src, diags)
+		if err != nil {
+			t.Errorf("linttest: applying fixes to %s: %v", fn, err)
+			continue
+		}
+		switch {
+		case applied > 0 && !hasGolden:
+			t.Errorf("linttest: %d fix(es) edit %s but no golden file %s exists — add one asserting the -fix output", applied, fn, filepath.Base(golden))
+		case hasGolden && string(fixed) != string(goldenBytes):
+			t.Errorf("linttest: fixes applied to %s do not match %s:\n--- got ---\n%s\n--- want ---\n%s",
+				fn, filepath.Base(golden), fixed, goldenBytes)
 		}
 	}
 }

@@ -1,0 +1,349 @@
+// Package report renders geminivet diagnostics in machine-readable formats:
+// a line-oriented JSON form for scripting, and SARIF 2.1.0 for CI systems
+// that surface findings as inline annotations (GitHub code scanning via
+// codeql-action/upload-sarif). Both renderers are deterministic: diagnostics
+// are sorted by file, line, column, analyzer before encoding, so two runs
+// over the same tree produce byte-identical reports.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gemini/internal/lint/analysis"
+)
+
+// Diagnostic is one finding resolved to file positions — the pivot between
+// token.Pos-based analysis diagnostics and the serialized forms.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	// EndLine/EndColumn close the finding's source range when the analyzer
+	// reported one (0 otherwise).
+	EndLine   int  `json:"endLine,omitempty"`
+	EndColumn int  `json:"endColumn,omitempty"`
+	HasFix    bool `json:"hasFix,omitempty"`
+}
+
+// Resolve flattens an analysis diagnostic against fset.
+func Resolve(fset *token.FileSet, d analysis.Diagnostic) Diagnostic {
+	p := fset.Position(d.Pos)
+	out := Diagnostic{
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		File:     p.Filename,
+		Line:     p.Line,
+		Column:   p.Column,
+		HasFix:   len(d.SuggestedFixes) > 0,
+	}
+	if d.End.IsValid() {
+		pe := fset.Position(d.End)
+		if pe.Filename == p.Filename {
+			out.EndLine, out.EndColumn = pe.Line, pe.Column
+		}
+	}
+	return out
+}
+
+// Sort orders diagnostics for deterministic output.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// JSON renders diagnostics as a single indented JSON document:
+// {"diagnostics": [...]} — an object rather than a bare array so the schema
+// can grow (summary counts, tool version) without breaking consumers.
+func JSON(diags []Diagnostic) ([]byte, error) {
+	Sort(diags)
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	doc := struct {
+		Diagnostics []Diagnostic `json:"diagnostics"`
+	}{diags}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// SARIF 2.1.0 document structure — only the slice of the spec geminivet
+// emits, but every emitted field follows the published schema
+// (https://json.schemastore.org/sarif-2.1.0.json).
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription *sarifMessage     `json:"shortDescription,omitempty"`
+	FullDescription  *sarifMessage     `json:"fullDescription,omitempty"`
+	Help             *sarifMessage     `json:"help,omitempty"`
+	Properties       map[string]any    `json:"properties,omitempty"`
+	DefaultConfig    *sarifRuleDefault `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifRuleDefault struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// RuleDoc describes one analyzer for the SARIF rules table.
+type RuleDoc struct {
+	Name string
+	Doc  string
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. root, when non-empty, is
+// stripped from file paths so artifact URIs are repo-relative (GitHub code
+// scanning requires relative URIs to attach annotations). rules documents
+// every analyzer that ran, found something or not, so CI can show the rule
+// inventory.
+func SARIF(diags []Diagnostic, root string, rules []RuleDoc) ([]byte, error) {
+	Sort(diags)
+
+	sarifRules := make([]sarifRule, 0, len(rules))
+	ruleIndex := map[string]int{}
+	for _, r := range rules {
+		ruleIndex[r.Name] = len(sarifRules)
+		short := r.Doc
+		if i := strings.IndexByte(short, '\n'); i >= 0 {
+			short = short[:i]
+		}
+		sarifRules = append(sarifRules, sarifRule{
+			ID:               "geminivet/" + r.Name,
+			ShortDescription: &sarifMessage{Text: short},
+			FullDescription:  &sarifMessage{Text: r.Doc},
+			DefaultConfig:    &sarifRuleDefault{Level: "error"},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			// A diagnostic from an undeclared rule (the stale-allow audit when
+			// the caller forgot to list it) still must render: append the rule.
+			idx = len(sarifRules)
+			ruleIndex[d.Analyzer] = idx
+			sarifRules = append(sarifRules, sarifRule{
+				ID:            "geminivet/" + d.Analyzer,
+				DefaultConfig: &sarifRuleDefault{Level: "error"},
+			})
+		}
+		region := sarifRegion{StartLine: max(d.Line, 1), StartColumn: d.Column}
+		if d.EndLine > 0 {
+			region.EndLine, region.EndColumn = d.EndLine, d.EndColumn
+		}
+		results = append(results, sarifResult{
+			RuleID:    "geminivet/" + d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relativeURI(d.File, root)},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "geminivet",
+				Rules: sarifRules,
+			}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// relativeURI renders file as a forward-slash path relative to root when
+// possible, absolute otherwise.
+func relativeURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// ValidateSARIF structurally checks data against the slice of the SARIF
+// 2.1.0 schema geminivet emits: required top-level fields, version string,
+// runs with tool.driver.name, results whose ruleId/ruleIndex agree with the
+// rules table, and locations with positive startLine. It is the CI gate that
+// keeps the renderer honest without a JSON-Schema engine in the module.
+func ValidateSARIF(data []byte) error {
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex *int   `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	if log.Version != sarifVersion {
+		return fmt.Errorf("sarif: version %q, want %q", log.Version, sarifVersion)
+	}
+	if log.Schema == "" {
+		return fmt.Errorf("sarif: missing $schema")
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("sarif: no runs")
+	}
+	for ri, run := range log.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("sarif: runs[%d] missing tool.driver.name", ri)
+		}
+		ruleIDs := make(map[string]int, len(run.Tool.Driver.Rules))
+		for i, r := range run.Tool.Driver.Rules {
+			if r.ID == "" {
+				return fmt.Errorf("sarif: runs[%d].rules[%d] missing id", ri, i)
+			}
+			ruleIDs[r.ID] = i
+		}
+		for i, res := range run.Results {
+			if res.RuleID == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d] missing ruleId", ri, i)
+			}
+			idx, known := ruleIDs[res.RuleID]
+			if !known {
+				return fmt.Errorf("sarif: runs[%d].results[%d] ruleId %q not in rules table", ri, i, res.RuleID)
+			}
+			if res.RuleIndex == nil || *res.RuleIndex != idx {
+				return fmt.Errorf("sarif: runs[%d].results[%d] ruleIndex disagrees with rules table", ri, i)
+			}
+			if res.Message.Text == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d] empty message", ri, i)
+			}
+			if len(res.Locations) == 0 {
+				return fmt.Errorf("sarif: runs[%d].results[%d] has no locations", ri, i)
+			}
+			for li, loc := range res.Locations {
+				pl := loc.PhysicalLocation
+				if pl.ArtifactLocation.URI == "" {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] missing artifact uri", ri, i, li)
+				}
+				if pl.Region.StartLine < 1 {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] startLine %d < 1", ri, i, li, pl.Region.StartLine)
+				}
+			}
+		}
+	}
+	return nil
+}

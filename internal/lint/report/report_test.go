@@ -1,0 +1,212 @@
+package report
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"gemini/internal/lint/analysis"
+)
+
+// fixtureDiags builds a deterministic diagnostic set resolved against a
+// synthetic file set, the round-trip fixture for both renderers.
+func fixtureDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/internal/server/isn.go", -1, 1000)
+	for i := 0; i < 1000; i += 40 {
+		f.AddLine(i)
+	}
+	g := fset.AddFile("/repo/internal/sim/sim.go", -1, 1000)
+	for i := 0; i < 1000; i += 40 {
+		g.AddLine(i)
+	}
+	raw := []analysis.Diagnostic{
+		{
+			Pos: g.Pos(85), End: g.Pos(95), Analyzer: "timertag",
+			Message: "literal negative timer tag -9 passed to SetTimer",
+		},
+		{
+			Pos: f.Pos(45), Analyzer: "metricsconv",
+			Message: "metric reqs lacks the gemini_ namespace prefix",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message:   "rename",
+				TextEdits: []analysis.TextEdit{{Pos: f.Pos(45), End: f.Pos(50), NewText: []byte(`"gemini_reqs"`)}},
+			}},
+		},
+		{
+			Pos: f.Pos(10), Analyzer: "locksafety",
+			Message: "channel send while holding s.mu",
+		},
+	}
+	out := make([]Diagnostic, len(raw))
+	for i, d := range raw {
+		out[i] = Resolve(fset, d)
+	}
+	return out
+}
+
+func fixtureRules() []RuleDoc {
+	return []RuleDoc{
+		{Name: "locksafety", Doc: "forbid mutexes held across blocking calls\nlong form."},
+		{Name: "metricsconv", Doc: "enforce metric naming conventions"},
+		{Name: "timertag", Doc: "police the reserved timer-tag namespace"},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := fixtureDiags(t)
+	data, err := JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Diagnostics []Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v", err)
+	}
+	if len(doc.Diagnostics) != len(diags) {
+		t.Fatalf("round-trip lost diagnostics: got %d, want %d", len(doc.Diagnostics), len(diags))
+	}
+	// Sorted: isn.go entries (by line) before sim.go.
+	if doc.Diagnostics[0].Analyzer != "locksafety" || doc.Diagnostics[2].Analyzer != "timertag" {
+		t.Errorf("diagnostics not sorted by file/line: %+v", doc.Diagnostics)
+	}
+	if !doc.Diagnostics[1].HasFix {
+		t.Error("metricsconv diagnostic lost its hasFix marker")
+	}
+	if doc.Diagnostics[2].EndLine == 0 {
+		t.Error("timertag diagnostic lost its end position")
+	}
+}
+
+func TestJSONEmpty(t *testing.T) {
+	data, err := JSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"diagnostics": []`) {
+		t.Errorf("empty report must render an empty array, got: %s", data)
+	}
+}
+
+func TestSARIFValidatesAndRoundTrips(t *testing.T) {
+	data, err := SARIF(fixtureDiags(t), "/repo", fixtureRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(data); err != nil {
+		t.Fatalf("rendered SARIF fails schema validation: %v\n%s", err, data)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID        string `json:"id"`
+						ShortDesc struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "geminivet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 3 {
+		t.Errorf("rules table has %d entries, want 3", len(run.Tool.Driver.Rules))
+	}
+	// Rule short descriptions take only the first doc line.
+	if got := run.Tool.Driver.Rules[0].ShortDesc.Text; strings.Contains(got, "long form") {
+		t.Errorf("shortDescription leaked past the first line: %q", got)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	// URIs are repo-relative with forward slashes.
+	for _, res := range run.Results {
+		uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if strings.HasPrefix(uri, "/") || !strings.HasPrefix(uri, "internal/") {
+			t.Errorf("artifact URI %q is not repo-relative", uri)
+		}
+	}
+}
+
+func TestSARIFUnknownRuleAppended(t *testing.T) {
+	diags := []Diagnostic{{Analyzer: "staleallow", Message: "stale allow", File: "/repo/a.go", Line: 3, Column: 1}}
+	data, err := SARIF(diags, "/repo", fixtureRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(data); err != nil {
+		t.Fatalf("SARIF with appended rule fails validation: %v", err)
+	}
+	if !strings.Contains(string(data), `"geminivet/staleallow"`) {
+		t.Error("undeclared rule was not appended to the rules table")
+	}
+}
+
+func TestSARIFEmptyStillValid(t *testing.T) {
+	data, err := SARIF(nil, "/repo", fixtureRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(data); err != nil {
+		t.Fatalf("empty SARIF fails validation: %v", err)
+	}
+}
+
+func TestSARIFDeterministic(t *testing.T) {
+	a, err := SARIF(fixtureDiags(t), "/repo", fixtureRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SARIF(fixtureDiags(t), "/repo", fixtureRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SARIF output is not byte-deterministic across runs")
+	}
+}
+
+func TestValidateSARIFRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"wrong version":   `{"$schema":"x","version":"2.0.0","runs":[{"tool":{"driver":{"name":"t","rules":[]}},"results":[]}]}`,
+		"no runs":         `{"$schema":"x","version":"2.1.0","runs":[]}`,
+		"no driver name":  `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"rules":[]}},"results":[]}]}`,
+		"unknown ruleId":  `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[]}},"results":[{"ruleId":"r","ruleIndex":0,"message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":1}}}]}]}]}`,
+		"bad startLine":   `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"r"}]}},"results":[{"ruleId":"r","ruleIndex":0,"message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":0}}}]}]}]}`,
+		"missing message": `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"r"}]}},"results":[{"ruleId":"r","ruleIndex":0,"message":{"text":""},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":1}}}]}]}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateSARIF([]byte(doc)); err == nil {
+			t.Errorf("%s: validation accepted malformed document", name)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package fixture exercises the locksafety analyzer: mutexes held across
+// blocking operations, returns with a lock held, and mixed atomic/mutex
+// field access. The synthetic import path places it under internal/server,
+// inside the analyzer's scope.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	vals    map[string]float64
+	hits    int64 // atomically updated in hot path, see addHit
+	pending int
+	updates chan string
+}
+
+// --- lockblocking: blocking operations inside a held region ---
+
+func (r *registry) publish(v string) {
+	r.mu.Lock()
+	r.updates <- v // want "channel send while holding r.mu"
+	r.mu.Unlock()
+}
+
+func (r *registry) await() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return <-r.updates // want "channel receive while holding r.mu"
+}
+
+func (r *registry) serveSnapshot(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	fmt.Fprintf(w, "pending=%d\n", r.pending) // want "passing the http.ResponseWriter to fmt.Fprintf while holding r.mu"
+	r.mu.Unlock()
+}
+
+func (r *registry) serveJSON(w http.ResponseWriter, req *http.Request) {
+	r.rw.RLock()
+	err := json.NewEncoder(w).Encode(r.vals) // want "passing the http.ResponseWriter to json.NewEncoder while holding r.rw"
+	r.rw.RUnlock()
+	_ = err
+}
+
+func (r *registry) forward(conn net.Conn, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := conn.Write(payload) // want "net.Conn.Write .client-paced I/O. while holding r.mu"
+	return err
+}
+
+func (r *registry) refresh(url string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := http.Get(url) // want "net/http.Get call while holding r.mu"
+	return err
+}
+
+func (r *registry) throttle() {
+	r.mu.Lock()
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep while holding r.mu"
+	r.mu.Unlock()
+}
+
+// tryPublish is clean: a select with a default never blocks.
+func (r *registry) tryPublish(v string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.updates <- v:
+	default:
+	}
+}
+
+// snapshotThenWrite is the sanctioned handler shape: copy under the lock,
+// serialize after releasing it.
+func (r *registry) snapshotThenWrite(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	out := make(map[string]float64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	r.mu.Unlock()
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return
+	}
+}
+
+// publishUnlocked blocks only after the critical section ends.
+func (r *registry) publishUnlocked(v string) {
+	r.mu.Lock()
+	r.pending++
+	r.mu.Unlock()
+	r.updates <- v
+}
+
+// allowedSend carries a reviewed suppression and stays silent.
+func (r *registry) allowedSend(v string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//gemini:allow lockblocking -- buffered handoff channel sized to the worker pool, cannot block in practice
+	r.updates <- v
+}
+
+// --- lockreturn: leaving a function with the mutex still held ---
+
+func (r *registry) get(k string) (float64, bool) {
+	r.mu.Lock()
+	v, ok := r.vals[k]
+	if !ok {
+		return 0, false // want "return with r.mu still held"
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+// getDeferred is the fixed shape: defer covers every return path.
+func (r *registry) getDeferred(k string) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vals[k]
+	return v, ok
+}
+
+// earlyReturnBeforeLock is clean: the return precedes the acquire.
+func (r *registry) earlyReturnBeforeLock(k string) bool {
+	if k == "" {
+		return false
+	}
+	r.mu.Lock()
+	r.vals[k] = 0
+	r.mu.Unlock()
+	return true
+}
+
+// --- atomicmix: one field under two synchronization disciplines ---
+
+// addHit is the atomic side.
+func (r *registry) addHit() {
+	atomic.AddInt64(&r.hits, 1)
+}
+
+// resetHits touches the same field as a plain write under the mutex: the
+// mutex does not order addHit's increments.
+func (r *registry) resetHits() {
+	r.mu.Lock()
+	r.hits = 0 // want "field hits is read/written under mutex r.mu"
+	r.mu.Unlock()
+}
+
+// pendingUnderLock is clean: pending is only ever mutex-guarded.
+func (r *registry) pendingUnderLock() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises the metricsconv analyzer: gemini_ prefix,
+// _total counter suffix, canonical unit suffixes, non-empty help strings,
+// and bounded label values. Literal-name violations carry suggested fixes,
+// asserted by fixture.go.golden.
+package fixture
+
+import (
+	"strconv"
+
+	"gemini/internal/telemetry"
+)
+
+// badName is a named constant: diagnosed, but no autofix (renaming the const
+// is not a single-literal edit).
+const badName = "queue_depth"
+
+func register(reg *telemetry.Registry, shard int, userID string, addr string) {
+	// Missing prefix on a literal: fixable.
+	reg.Counter("requests_total", "Requests served.") // want "metric requests_total lacks the gemini_ namespace prefix"
+
+	// Counter without _total and without prefix: two diagnostics, one
+	// canonical rename fix covering both.
+	reg.Counter("reqs", "Requests served.") // want "counter reqs must end in _total" "metric reqs lacks the gemini_ namespace prefix"
+
+	// Alias unit spelling: fixable rename to _ms.
+	reg.Gauge("gemini_latency_msec", "Smoothed latency.") // want "spells its unit _msec: the canonical suffix is _ms"
+
+	// Alias unit on a counter, suffix order preserved across _total.
+	reg.Counter("gemini_busy_nanos_total", "Busy time.") // want "spells its unit _nanos: the canonical suffix is _ns"
+
+	// Wrong scale: diagnosed without a fix — a rename cannot rescale values.
+	reg.Histogram("gemini_query_seconds", "Query latency.", nil) // want "is scaled in _seconds but the canonical unit is _ms"
+
+	// Empty help string.
+	reg.Gauge("gemini_power_watts", "") // want "metric gemini_power_watts has an empty help string"
+
+	// Named-constant name: diagnosed, no fix.
+	reg.Gauge(badName, "Depth of the pending queue.") // want "metric queue_depth lacks the gemini_ namespace prefix"
+
+	// Clean registrations.
+	g := reg.Gauge("gemini_freq_ghz", "Current core frequency.")
+	g.Set(1.2)
+	reg.Counter("gemini_drops_total", "Dropped requests.",
+		telemetry.L("shard", strconv.Itoa(shard))) // bounded: strconv of an index
+
+	// Unbounded label value.
+	reg.Counter("gemini_user_hits_total", "Per-user hits.",
+		telemetry.L("user", userID)) // want "label user value userID is not from a bounded set"
+
+	// Bounded-by-deployment value with a reviewed suppression.
+	reg.Gauge("gemini_up_pct", "Serving readiness.",
+		telemetry.L("listener", addr)) //gemini:allow metriclabel -- one listener per process from static config
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the suite-level //gemini:allow audit: an allow
+// that suppresses nothing is stale (and carries a deletion fix, asserted by
+// fixture.go.golden), an allow naming an unknown check or missing its reason
+// is malformed. Consumed allows stay silent.
+package fixture
+
+// ratio carries a live floatcmp suppression: the comparison really fires, so
+// the allow is consumed and the audit stays quiet about it.
+func ratio(a, b float64) bool {
+	//gemini:allow floatcmp -- exact sentinel equality on a value stored verbatim
+	return a == b
+}
+
+// scale's allow is stale: nothing on the next line triggers floatcmp.
+func scale(v float64) float64 {
+	//gemini:allow floatcmp -- obsolete after the epsilon refactor // want "stale //gemini:allow floatcmp: the unitsafety analyzer reports nothing here"
+	return v * 2
+}
+
+// mystery names a check no analyzer owns.
+func mystery(v float64) float64 {
+	//gemini:allow fastmath -- rounding is fine here // want "names unknown check .fastmath."
+	return v * 3
+}
+
+// unreasoned suppresses a real diagnostic but never says why.
+func unreasoned(a, b float64) bool {
+	//gemini:allow floatcmp // want "has no `-- reason`"
+	return a == b
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the timertag analyzer inside the reserved
+// namespace owner (the synthetic import path sits under internal/sim):
+// in-package value collisions, literal negative tags at SetTimer call sites,
+// and raw-literal tag comparisons.
+package fixture
+
+// The reserved engine timers: declaring them here is legal — this package
+// owns the negative namespace.
+const (
+	CapTimerTag    int64 = -1
+	SampleTimerTag int64 = -2
+)
+
+// DrainTimerTag collides with CapTimerTag's value.
+const DrainTimerTag int64 = -1 // want "timer tag DrainTimerTag = -1 collides with CapTimerTag"
+
+// PollTimerTag is caller-space (non-negative): no reservation rules apply.
+const PollTimerTag int64 = 7
+
+type engine struct{ timers []int64 }
+
+func (e *engine) SetTimer(atMs float64, tag int64) { e.timers = append(e.timers, tag) }
+
+func (e *engine) schedule() {
+	e.SetTimer(1.0, CapTimerTag) // named reserved constant: the sanctioned shape
+	e.SetTimer(2.0, PollTimerTag)
+	e.SetTimer(3.0, 42)   // positive literals are caller business
+	e.SetTimer(4.0, -9)   // want "literal negative timer tag -9 passed to SetTimer"
+	e.SetTimer(5.0, -(2)) // want "literal negative timer tag -2 passed to SetTimer"
+}
+
+func (e *engine) dispatch(tag int64) string {
+	if tag == CapTimerTag {
+		return "cap"
+	}
+	if tag == -2 { // want "tag compared against raw literal -2"
+		return "sample"
+	}
+	switch {
+	case tag != -1: // want "tag compared against raw literal -1"
+		return "user"
+	}
+	return "unknown"
+}
+
+// freqSentinel must stay out of scope: -1 here is a frequency-level
+// sentinel, not a timer tag, and the expression is not tag-named.
+func freqSentinel(freqLevel int) bool { return freqLevel == -1 }

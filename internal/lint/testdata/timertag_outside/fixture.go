@@ -1,0 +1,22 @@
+// Package fixture exercises the timertag analyzer outside the reserved
+// namespace owner: negative timer-tag constants declared anywhere but
+// internal/sim are flagged, non-negative ones are caller business. The
+// cross-package collision path is driven separately through a shared fact
+// store (see TestTimerTagCrossPackageCollision).
+package fixture
+
+// StrayTimerTag squats on the reserved negative namespace from the wrong
+// package.
+const StrayTimerTag int64 = -5 // want "reserved .negative. timer tag StrayTimerTag = -5 declared outside internal/sim"
+
+// RetryTimerTag is caller-space and fine.
+const RetryTimerTag int64 = 11
+
+type scheduler struct{ next int64 }
+
+func (s *scheduler) SetTimer(atMs float64, tag int64) { s.next = tag }
+
+func (s *scheduler) arm() {
+	s.SetTimer(0.5, RetryTimerTag)
+	s.SetTimer(1.5, StrayTimerTag) // named constant: the declaration is the finding, not the use
+}

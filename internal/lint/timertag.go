@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"gemini/internal/lint/analysis"
+)
+
+// TimerTag polices the event engines' reserved timer-tag namespace. Timer
+// tags are the int64 cookies handed to Sim.SetTimer; non-negative tags
+// belong to callers, while negative tags are reserved for engine-internal
+// timers (CapTimerTag = -1 for the power-cap governor, SampleTimerTag = -2
+// for the telemetry sampler). The analyzer enforces, module-wide:
+//
+//   - no literal negative tag at a SetTimer call site or in a tag
+//     comparison — reserved tags must be referenced by name, so a grep for
+//     the constant finds every use;
+//   - reserved (negative) timer-tag constants are declared only in the
+//     package that owns the namespace (internal/sim, beside CapTimerTag) —
+//     a stray -3 constant in another package is a collision waiting for its
+//     victim;
+//   - no two reserved constants share a value, across every package of the
+//     module. Declarations are exported as package facts (collected
+//     syntactically so the vet VetxOnly fast path can produce them without
+//     type-checking) and checked pairwise as packages flow through the run.
+//
+// This replaces the hand-written per-constant reservation tests: the
+// invariant now lives in one place and new engine timers inherit it.
+//
+// Suppressions: //gemini:allow timertag -- reason.
+var TimerTag = &analysis.Analyzer{
+	Name: "timertag",
+	Doc: "ban literal negative timer tags, keep reserved timer-tag constants " +
+		"beside CapTimerTag, and detect cross-package tag collisions via " +
+		"package facts",
+	Run: runTimerTag,
+}
+
+// reservedTagPkg is the import-path fragment of the one package allowed to
+// declare negative timer-tag constants.
+const reservedTagPkg = "internal/sim"
+
+// timerTagName is the analyzer name, usable from runTimerTag without an
+// initialization cycle through the TimerTag variable.
+const timerTagName = "timertag"
+
+// TimerTagDecl is one `const XxxTimerTag int64 = -N` declaration, as carried
+// in the timertag package fact.
+type TimerTagDecl struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Pos   string `json:"pos"` // file:line, for diagnostics in other packages
+}
+
+// TimerTagFact is the timertag analyzer's package fact: every timer-tag
+// constant the package declares.
+type TimerTagFact struct {
+	Decls []TimerTagDecl `json:"decls"`
+}
+
+// CollectTimerTagFacts scans files for timer-tag constant declarations —
+// package-level consts whose name ends in "TimerTag" with an integer literal
+// (possibly negated) initializer. The scan is purely syntactic so the
+// geminivet VetxOnly path can run it without type-checking a package.
+func CollectTimerTagFacts(fset *token.FileSet, files []*ast.File) []TimerTagDecl {
+	var decls []TimerTagDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasSuffix(name.Name, "TimerTag") || i >= len(vs.Values) {
+						continue
+					}
+					if v, ok := intLiteralValue(vs.Values[i]); ok {
+						p := fset.Position(name.Pos())
+						decls = append(decls, TimerTagDecl{
+							Name:  name.Name,
+							Value: v,
+							Pos:   fmt.Sprintf("%s:%d", p.Filename, p.Line),
+						})
+					}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// intLiteralValue evaluates an integer literal, optionally under a chain of
+// unary +/- operators, without type information.
+func intLiteralValue(e ast.Expr) (int64, bool) {
+	neg := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			switch x.Op {
+			case token.SUB:
+				neg = !neg
+				e = x.X
+			case token.ADD:
+				e = x.X
+			default:
+				return 0, false
+			}
+		case *ast.BasicLit:
+			if x.Kind != token.INT {
+				return 0, false
+			}
+			v, err := strconv.ParseInt(x.Value, 0, 64)
+			if err != nil {
+				return 0, false
+			}
+			if neg {
+				v = -v
+			}
+			return v, true
+		default:
+			return 0, false
+		}
+	}
+}
+
+func runTimerTag(pass *analysis.Pass) error {
+	allow := buildAllowIndex(pass)
+	pkgPath := pkgPathBase(pass.Pkg.Path())
+
+	// Production files only: tests may poke raw tags at the engine to probe
+	// its error paths.
+	var prodFiles []*ast.File
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Pos()) {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+
+	decls := CollectTimerTagFacts(pass.Fset, prodFiles)
+
+	// Reserved constants live beside CapTimerTag only.
+	inReservedPkg := matchesPkgFrag(pkgPath, reservedTagPkg)
+	for _, d := range decls {
+		if d.Value < 0 && !inReservedPkg {
+			if pos, ok := declPos(pass, prodFiles, d.Name); ok && !allow.allows(pass, pos, "timertag") {
+				pass.Reportf(pos,
+					"reserved (negative) timer tag %s = %d declared outside %s: reserved tags must be named constants beside CapTimerTag so the namespace has one owner",
+					d.Name, d.Value, reservedTagPkg)
+			}
+		}
+	}
+
+	// Collisions: within this package, and against every package already in
+	// the fact store. Pairwise coverage is order-independent — whichever
+	// package the run visits second sees the first's fact.
+	seen := map[int64]TimerTagDecl{}
+	for _, d := range decls {
+		if prev, dup := seen[d.Value]; dup && prev.Name != d.Name {
+			if pos, ok := declPos(pass, prodFiles, d.Name); ok && !allow.allows(pass, pos, "timertag") {
+				pass.Reportf(pos,
+					"timer tag %s = %d collides with %s (%s): every reserved tag value must be unique",
+					d.Name, d.Value, prev.Name, prev.Pos)
+			}
+			continue
+		}
+		seen[d.Value] = d
+	}
+	if pass.Facts != nil {
+		for _, otherPkg := range pass.Facts.Packages(timerTagName) {
+			if otherPkg == pass.Pkg.Path() || pkgPathBase(otherPkg) == pkgPath {
+				continue
+			}
+			var fact TimerTagFact
+			if !pass.Facts.Import(otherPkg, timerTagName, &fact) {
+				continue
+			}
+			for _, other := range fact.Decls {
+				local, dup := seen[other.Value]
+				if !dup || local.Name == other.Name {
+					continue
+				}
+				if pos, ok := declPos(pass, prodFiles, local.Name); ok && !allow.allows(pass, pos, "timertag") {
+					pass.Reportf(pos,
+						"timer tag %s = %d collides with %s declared in %s (%s)",
+						local.Name, local.Value, other.Name, otherPkg, other.Pos)
+				}
+			}
+		}
+		if len(decls) > 0 {
+			if err := pass.Facts.Export(pass.Pkg.Path(), timerTagName, TimerTagFact{Decls: decls}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Literal negative tags at call and comparison sites.
+	for _, f := range prodFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSetTimerCall(pass, n, allow)
+			case *ast.BinaryExpr:
+				checkTagComparison(pass, n, allow)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declPos finds the declaration position of a package-level constant by name.
+func declPos(pass *analysis.Pass, files []*ast.File, name string) (token.Pos, bool) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if id.Name == name {
+							return id.Pos(), true
+						}
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// checkSetTimerCall flags a literal negative tag passed to SetTimer.
+func checkSetTimerCall(pass *analysis.Pass, call *ast.CallExpr, allow allowIndex) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SetTimer" || len(call.Args) != 2 {
+		return
+	}
+	v, isLit := intLiteralValue(call.Args[1])
+	if !isLit || v >= 0 {
+		return
+	}
+	if allow.allows(pass, call.Args[1].Pos(), "timertag") {
+		return
+	}
+	pass.ReportRangef(call.Args[1].Pos(), call.Args[1].End(),
+		"literal negative timer tag %d passed to SetTimer: reserved tags must be referenced by their named constant (CapTimerTag, SampleTimerTag, ...) so collisions stay visible",
+		v)
+}
+
+// checkTagComparison flags comparing a tag-named expression against a raw
+// negative literal (`tag == -1` instead of `tag == CapTimerTag`).
+func checkTagComparison(pass *analysis.Pass, be *ast.BinaryExpr, allow allowIndex) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	expr, lit := be.X, be.Y
+	v, isLit := intLiteralValue(lit)
+	if !isLit {
+		expr, lit = be.Y, be.X
+		v, isLit = intLiteralValue(lit)
+	}
+	if !isLit || v >= 0 || !isTagNamedExpr(expr) {
+		return
+	}
+	if allow.allows(pass, be.Pos(), "timertag") {
+		return
+	}
+	pass.ReportRangef(be.Pos(), be.End(),
+		"tag compared against raw literal %d: use the named reserved constant so the comparison survives a renumbering",
+		v)
+}
+
+// isTagNamedExpr reports whether e names a timer tag: an identifier or
+// selector whose final name is "tag" or ends in "Tag". The restriction keeps
+// unrelated negative sentinels (FreqLevel == -1) out of scope.
+func isTagNamedExpr(e ast.Expr) bool {
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return name == "tag" || strings.HasSuffix(name, "Tag")
+}

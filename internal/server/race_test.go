@@ -102,7 +102,11 @@ func TestTracePropagationConcurrent(t *testing.T) {
 			if sp.SpanID == "query" {
 				continue
 			}
-			if sp.StartMs < -slackMs || sp.EndMs > root.EndMs+slackMs {
+			// Modeled DVFS phases carry predicted durations at the planned
+			// frequency, not wall time; when the real execution beats the
+			// model they extend past the root's wall-clock end by design.
+			wallBound := !strings.Contains(sp.Name, "-model-")
+			if sp.StartMs < -slackMs || (wallBound && sp.EndMs > root.EndMs+slackMs) {
 				t.Fatalf("trace %q: span %s/%s [%v, %v] outside root [0, %v]",
 					v.TraceID, sp.Name, sp.SpanID, sp.StartMs, sp.EndMs, root.EndMs)
 			}

@@ -52,7 +52,9 @@ type SLOBinding struct {
 func NewSLOBinding(reg *telemetry.Registry, listener string, cfg telemetry.SLOConfig) *SLOBinding {
 	tracker := telemetry.NewSLOTracker(cfg)
 	eff := tracker.Config()
-	l := telemetry.L("listener", listener)
+	// One listener address per serving process, chosen from static config —
+	// the label set is bounded by deployment size, not by traffic.
+	l := telemetry.L("listener", listener) //gemini:allow metriclabel -- one value per process, from static config
 	b := &SLOBinding{
 		tracker: tracker,
 		t0:      time.Now(),

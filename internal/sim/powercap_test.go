@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gemini/internal/cpu"
+	"gemini/internal/lint"
 )
 
 // capBoundOK is the coordinator invariant: post-adjustment modeled cluster
@@ -138,12 +139,15 @@ func TestPowerCapMonotonicity(t *testing.T) {
 	}
 }
 
-// TestCapTimerTagReserved guards the wrapper's timer namespace: the reserved
-// tag must stay negative so it can never collide with in-repo policy timers
-// (all of which use non-negative tags).
+// TestCapTimerTagReserved is now a thin wiring check: the reservation
+// invariants (negative values, uniqueness, declared-beside-CapTimerTag, no
+// cross-package collisions) moved into the geminivet timertag analyzer,
+// whose facts-driven assertions run module-wide in TestReservedTimerTagFacts
+// and TestRepoIsClean (internal/lint). This test only guards against the
+// analyzer being unplugged from the suite.
 func TestCapTimerTagReserved(t *testing.T) {
-	if CapTimerTag >= 0 {
-		t.Fatalf("CapTimerTag = %d, must be negative", CapTimerTag)
+	if lint.ByName("timertag") == nil {
+		t.Fatal("timertag analyzer missing from the geminivet suite: reserved-tag invariants are unenforced")
 	}
 }
 
